@@ -1,0 +1,23 @@
+package recsim
+
+import (
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// pipelineRun drives the DES pipeline for the overlap ablation.
+func pipelineRun(flows int) (float64, error) {
+	res, err := pipeline.Run(pipeline.Config{
+		Model:        workload.DefaultTestSuite(256, 16),
+		Batch:        200,
+		Trainers:     4,
+		SparsePS:     2,
+		HogwildFlows: flows,
+		Iterations:   60,
+		Seed:         7,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.Throughput, nil
+}

@@ -1,0 +1,61 @@
+// Command dlrmbench regenerates the paper's tables and figures.
+//
+//	dlrmbench -list             enumerate experiments
+//	dlrmbench -exp fig10        run one experiment
+//	dlrmbench -all              run everything
+//	dlrmbench -all -quick       shrunken real-training/fleet experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids")
+	exp := flag.String("exp", "", "experiment id to run")
+	all := flag.Bool("all", false, "run every experiment")
+	quick := flag.Bool("quick", false, "shrink real-training and fleet experiments")
+	seed := flag.Int64("seed", 0, "experiment seed")
+	flag.Parse()
+
+	opt := experiments.Options{Quick: *quick, Seed: *seed}
+
+	switch {
+	case *list:
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-8s %s\n", id, experiments.Title(id))
+		}
+	case *all:
+		for _, id := range experiments.IDs() {
+			if err := runOne(id, opt); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	case *exp != "":
+		if err := runOne(*exp, opt); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(id string, opt experiments.Options) error {
+	res, err := experiments.Run(id, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("==== %s — %s ====\n\n", res.ID, res.Title)
+	fmt.Println(res.Output)
+	fmt.Println("Paper vs measured:")
+	fmt.Println(res.PaperNote)
+	fmt.Println()
+	return nil
+}

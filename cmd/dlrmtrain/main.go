@@ -1,0 +1,62 @@
+// Command dlrmtrain trains a real DLRM on synthetic click data and
+// reports loss, normalized entropy, and throughput — the minimal
+// end-to-end exercise of the training stack.
+//
+//	dlrmtrain -dense 64 -sparse 8 -batch 256 -iters 500 -lr 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/xrand"
+)
+
+func main() {
+	dense := flag.Int("dense", 32, "dense feature count")
+	sparse := flag.Int("sparse", 8, "sparse feature count")
+	hash := flag.Int("hash", 10000, "hash size per table")
+	dim := flag.Int("dim", 16, "embedding dimension")
+	batch := flag.Int("batch", 256, "mini-batch size")
+	iters := flag.Int("iters", 500, "training iterations")
+	lr := flag.Float64("lr", 0.05, "learning rate")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	cfg := core.Config{
+		Name:          "dlrmtrain",
+		DenseFeatures: *dense,
+		Sparse:        core.UniformSparse(*sparse, *hash, 5),
+		EmbeddingDim:  *dim,
+		BottomMLP:     []int{64},
+		TopMLP:        []int{64, 32},
+		Interaction:   core.DotProduct,
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("model: %d dense, %d sparse x %d rows, %s embeddings\n",
+		cfg.DenseFeatures, cfg.NumSparse(), *hash, core.HumanBytes(cfg.EmbeddingBytes()))
+
+	m := core.NewModel(cfg, xrand.New(*seed))
+	tr := core.NewTrainer(m, core.TrainerConfig{Optimizer: core.OptAdagrad, LR: *lr})
+	gen := data.NewGenerator(cfg, *seed+1, data.DefaultOptions())
+
+	start := time.Now()
+	for i := 0; i < *iters; i++ {
+		loss := tr.Step(gen.NextBatch(*batch))
+		if (i+1)%100 == 0 || i == 0 {
+			eval := core.Evaluate(m, gen.Fork(999).EvalSet(4, 256))
+			fmt.Printf("iter %5d  loss %.4f  NE %.4f  acc %.4f\n", i+1, loss, eval.NE, eval.Accuracy)
+		}
+	}
+	elapsed := time.Since(start)
+	examples := float64(*iters * *batch)
+	fmt.Printf("trained %d examples in %v (%.0f examples/sec)\n",
+		int(examples), elapsed.Round(time.Millisecond), examples/elapsed.Seconds())
+}

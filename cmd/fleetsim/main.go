@@ -1,0 +1,42 @@
+// Command fleetsim runs the fleet-scale characterizations: utilization
+// distributions across many training runs (Fig 5) and server-count
+// histograms (Fig 9).
+//
+//	fleetsim -runs 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+)
+
+func main() {
+	runs := flag.Int("runs", 100, "simulated training runs for the utilization study")
+	workflows := flag.Int("workflows", 3000, "sampled workflows for the server-count study")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	study := fleet.DefaultUtilizationStudy(*runs, *seed)
+	fmt.Printf("Fig 5 study: %d runs at %d trainers / %d sparse PS\n\n",
+		*runs, study.Trainers, study.SparsePS)
+	d, err := study.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(metrics.Table(d.Summaries()))
+
+	th, ph, p95 := fleet.ServerCountStudy(*workflows, *seed+1)
+	labels := make([]string, len(th.Counts))
+	for i := range labels {
+		labels[i] = fmt.Sprintf("%2.0f", th.BinCenter(i))
+	}
+	fmt.Printf("Fig 9: trainer counts over %d workflows (p95 = %.0f):\n", *workflows, p95)
+	fmt.Println(metrics.BarChart(labels, th.Fractions(), 40))
+	fmt.Println("parameter-server counts:")
+	fmt.Println(metrics.BarChart(labels, ph.Fractions(), 40))
+}

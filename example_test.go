@@ -1,0 +1,40 @@
+package recsim_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleEstimateGPU estimates a training iteration of the §V test-suite
+// model on Big Basin with embeddings in GPU memory.
+func ExampleEstimateGPU() {
+	cfg := recsim.TestSuiteModel(1024, 16)
+	bd, err := recsim.EstimateGPU(cfg, "BigBasin", 1600, recsim.PlaceGPUMemory)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(bd.Throughput > 0, bd.PowerUnits)
+	// Output: true 7.3
+}
+
+// ExampleDescribe prints the Table II summary of M3prod — the model
+// whose embedding tables exceed a Big Basin's GPU memory.
+func ExampleDescribe() {
+	m3 := recsim.ProductionModels()[2]
+	fmt.Println(recsim.Describe(m3))
+	// Output: M3prod: 809 dense, 127 sparse, 224.1 GB embeddings, 6223 lookups/example
+}
+
+// ExampleFitPlacement shows the capacity wall of §VI-A: M3prod cannot be
+// placed in Big Basin GPU memory.
+func ExampleFitPlacement() {
+	m3 := recsim.ProductionModels()[2]
+	_, err := recsim.FitPlacement(m3, "BigBasin", recsim.PlaceGPUMemory, 0)
+	fmt.Println(err != nil)
+	plan, err := recsim.FitPlacement(m3, "Zion", recsim.PlaceSystemMemory, 0)
+	fmt.Println(err == nil, plan.Strategy)
+	// Output:
+	// true
+	// true SystemMemory
+}

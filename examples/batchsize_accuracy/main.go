@@ -1,0 +1,50 @@
+// Batch-size accuracy: a miniature Fig 15 — train the same model with
+// growing batch sizes under a fixed sample budget and linear LR scaling,
+// and watch the residual accuracy gap grow.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	cfg := recsim.ModelConfig{
+		Name:          "batchsweep",
+		DenseFeatures: 16,
+		Sparse: []recsim.SparseFeature{
+			{Name: "a", HashSize: 2000, MeanPooled: 4, MaxPooled: 16},
+			{Name: "b", HashSize: 2000, MeanPooled: 4, MaxPooled: 16},
+		},
+		EmbeddingDim: 16,
+		BottomMLP:    []int{32},
+		TopMLP:       []int{32},
+		Interaction:  recsim.InteractionDot,
+	}
+	base := recsim.NewGenerator(cfg, 7)
+	const budget = 60000
+	const refBatch, refLR = 200, 0.05
+
+	train := func(batch int, lr float64) recsim.EvalResult {
+		m := recsim.NewModel(cfg, 11)
+		tr := recsim.NewTrainer(m, recsim.TrainerConfig{Optimizer: "sgd", LR: lr, WarmupIters: 20})
+		gen := base.Fork(int64(batch))
+		for i := 0; i < budget/batch; i++ {
+			tr.Step(gen.NextBatch(batch))
+		}
+		return recsim.Evaluate(m, base.Fork(999).EvalSet(8, 256))
+	}
+
+	ref := train(refBatch, refLR)
+	fmt.Printf("reference batch %d: accuracy %.4f (NE %.4f)\n\n", refBatch, ref.Accuracy, ref.NE)
+	fmt.Println("batch  scaled-lr  accuracy  loss-vs-ref(%)")
+	for _, b := range []int{400, 800, 1600, 2400} {
+		lr := refLR * float64(b) / refBatch // linear scaling rule
+		r := train(b, lr)
+		fmt.Printf("%5d   %7.3f   %.4f   %+.3f\n", b, lr, r.Accuracy, (ref.Accuracy-r.Accuracy)*100)
+	}
+	fmt.Println("\nPaper Fig 15: even after manual LR re-tuning, the accuracy gap")
+	fmt.Println("grows with batch size (~0.2% at batch 2400) — often intolerable")
+	fmt.Println("for well-calibrated recommendation models.")
+}

@@ -1,0 +1,63 @@
+// Placement study: evaluate every embedding placement strategy (Fig 8)
+// for M2prod on Big Basin and Zion, reproducing the Fig 14 comparison.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	m2 := recsim.ProductionModels()[1]
+	fmt.Println(recsim.Describe(m2))
+	fmt.Println()
+
+	strategies := []recsim.PlacementStrategy{
+		recsim.PlaceGPUMemory, recsim.PlaceSystemMemory, recsim.PlaceRemoteCPU, recsim.PlaceHybrid,
+	}
+	for _, platform := range []string{"BigBasin", "Zion"} {
+		fmt.Printf("%s:\n", platform)
+		for _, strat := range strategies {
+			plan, err := recsim.FitPlacement(m2, platform, strat, 8)
+			if err != nil {
+				fmt.Printf("  %-12s infeasible: %v\n", strat, err)
+				continue
+			}
+			bd, err := recsim.EstimateGPU(m2, platform, 3200, strat)
+			if err != nil {
+				// RemoteCPU needs the explicit plan with PS count.
+				bd2, err2 := estimateWithPlan(m2, platform, plan)
+				if err2 != nil {
+					fmt.Printf("  %-12s error: %v\n", strat, err2)
+					continue
+				}
+				bd = bd2
+			}
+			where := describePlan(plan)
+			fmt.Printf("  %-12s %9.0f ex/s  bottleneck=%-9s %s\n",
+				strat, bd.Throughput, bd.Bottleneck, where)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Paper Fig 14: Big Basin is fastest with tables in GPU memory;")
+	fmt.Println("Zion (no GPU-GPU fabric in the prototype) is fastest with tables")
+	fmt.Println("in its 2TB / 1TB/s system memory.")
+}
+
+func estimateWithPlan(cfg recsim.ModelConfig, platform string, plan recsim.PlacementPlan) (recsim.Breakdown, error) {
+	return recsim.EstimateGPU(cfg, platform, 3200, plan.Strategy)
+}
+
+func describePlan(p recsim.PlacementPlan) string {
+	switch {
+	case p.RemotePS > 0:
+		return fmt.Sprintf("(%d remote PS)", p.RemotePS)
+	case p.EmbGPUs > 0 && p.HostBytes > 0:
+		return fmt.Sprintf("(%d GPUs + host spill)", p.EmbGPUs)
+	case p.EmbGPUs > 0:
+		return fmt.Sprintf("(%d GPUs hold tables)", p.EmbGPUs)
+	default:
+		return "(host memory)"
+	}
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/embedding"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// MiniBatch is one training batch: a dense matrix, one pooled-lookup Bag
+// per sparse feature, and the click labels.
+type MiniBatch struct {
+	Dense  *tensor.Matrix  // B × DenseFeatures
+	Bags   []embedding.Bag // one per sparse feature
+	Labels []float32       // length B, values in {0,1}
+}
+
+// Batch returns the number of examples.
+func (b *MiniBatch) Batch() int { return b.Dense.Rows }
+
+// Validate checks the batch against a config.
+func (b *MiniBatch) Validate(cfg *Config) error {
+	if b.Dense.Cols != cfg.DenseFeatures {
+		return fmt.Errorf("core: dense width %d, config wants %d", b.Dense.Cols, cfg.DenseFeatures)
+	}
+	if len(b.Bags) != cfg.NumSparse() {
+		return fmt.Errorf("core: %d bags, config wants %d", len(b.Bags), cfg.NumSparse())
+	}
+	if len(b.Labels) != b.Batch() {
+		return fmt.Errorf("core: %d labels for batch %d", len(b.Labels), b.Batch())
+	}
+	for i, bag := range b.Bags {
+		if bag.Batch() != b.Batch() {
+			return fmt.Errorf("core: bag %d batch %d != %d", i, bag.Batch(), b.Batch())
+		}
+		if err := bag.Validate(cfg.Sparse[i].HashSize); err != nil {
+			return fmt.Errorf("core: bag %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Model is an instantiated DLRM with real parameters.
+type Model struct {
+	Cfg    Config
+	Bottom *nn.MLP
+	Top    *nn.MLP
+	Tables []*embedding.Table
+
+	// forward caches
+	pooled []*tensor.Matrix // per sparse feature, B×d
+	z      *tensor.Matrix   // bottom output, B×d
+	xTop   *tensor.Matrix   // interaction output, B×interactionDim
+	batch  *MiniBatch
+
+	// backward scratch
+	dPooled []*tensor.Matrix
+	dZ      *tensor.Matrix
+}
+
+// NewModel allocates a model with freshly initialized parameters. It
+// panics if the config is invalid (validate configs at the boundary).
+func NewModel(cfg Config, rng *xrand.RNG) *Model {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Model{Cfg: cfg}
+	m.Bottom = nn.NewMLP(cfg.BottomDims(), rng)
+	m.Top = nn.NewMLP(cfg.TopDims(), rng)
+	for _, s := range cfg.Sparse {
+		m.Tables = append(m.Tables, embedding.NewTable(s.Name, s.HashSize, cfg.EmbeddingDim, rng))
+	}
+	return m
+}
+
+// ShareWeights returns a model aliasing this model's parameters (MLP
+// weights and embedding tables) with private activation/gradient buffers.
+// This is the worker view for Hogwild! training.
+func (m *Model) ShareWeights() *Model {
+	return &Model{
+		Cfg:    m.Cfg,
+		Bottom: m.Bottom.ShareWeights(),
+		Top:    m.Top.ShareWeights(),
+		Tables: m.Tables, // embedding rows are updated lock-free in place
+	}
+}
+
+// Clone returns a deep copy with independent parameters.
+func (m *Model) Clone() *Model {
+	c := &Model{Cfg: m.Cfg, Bottom: m.Bottom.Clone(), Top: m.Top.Clone()}
+	for _, t := range m.Tables {
+		nt := &embedding.Table{Name: t.Name, HashSize: t.HashSize, Dim: t.Dim, Weights: t.Weights.Clone()}
+		c.Tables = append(c.Tables, nt)
+	}
+	return c
+}
+
+// Forward computes logits for the batch and caches activations for
+// Backward. The returned slice is valid until the next Forward call.
+func (m *Model) Forward(b *MiniBatch) []float32 {
+	B := b.Batch()
+	d := m.Cfg.EmbeddingDim
+	s := m.Cfg.NumSparse()
+
+	m.batch = b
+	m.z = m.Bottom.Forward(b.Dense)
+
+	if len(m.pooled) != s || (s > 0 && m.pooled[0].Rows != B) {
+		m.pooled = make([]*tensor.Matrix, s)
+		for i := range m.pooled {
+			m.pooled[i] = tensor.New(B, d)
+		}
+	}
+	for i, tab := range m.Tables {
+		tab.Forward(b.Bags[i], m.pooled[i])
+	}
+
+	idim := m.Cfg.InteractionDim()
+	if m.xTop == nil || m.xTop.Rows != B || m.xTop.Cols != idim {
+		m.xTop = tensor.New(B, idim)
+	}
+	m.buildInteraction(B)
+
+	out := m.Top.Forward(m.xTop)
+	logits := make([]float32, B)
+	for i := 0; i < B; i++ {
+		logits[i] = out.At(i, 0)
+	}
+	return logits
+}
+
+// buildInteraction fills xTop from z and pooled according to the config.
+func (m *Model) buildInteraction(B int) {
+	d := m.Cfg.EmbeddingDim
+	s := m.Cfg.NumSparse()
+	switch m.Cfg.Interaction {
+	case DotProduct:
+		// Layout per row: [z (d) | dot(v_i, v_j) for i<j over v_0=z, v_1..s=pooled]
+		for r := 0; r < B; r++ {
+			row := m.xTop.Row(r)
+			copy(row[:d], m.z.Row(r))
+			k := d
+			vecs := make([][]float32, s+1)
+			vecs[0] = m.z.Row(r)
+			for i := 0; i < s; i++ {
+				vecs[i+1] = m.pooled[i].Row(r)
+			}
+			for i := 0; i <= s; i++ {
+				for j := i + 1; j <= s; j++ {
+					row[k] = tensor.Dot(vecs[i], vecs[j])
+					k++
+				}
+			}
+		}
+	default: // Concat: [z | pooled_0 | ... | pooled_{s-1}]
+		for r := 0; r < B; r++ {
+			row := m.xTop.Row(r)
+			copy(row[:d], m.z.Row(r))
+			for i := 0; i < s; i++ {
+				copy(row[(i+1)*d:(i+2)*d], m.pooled[i].Row(r))
+			}
+		}
+	}
+}
+
+// Backward propagates the per-example logit gradients through the model.
+// MLP gradients accumulate into the nn layers (call ZeroGrad between
+// batches); embedding gradients are returned as one SparseGrad per table.
+func (m *Model) Backward(dLogits []float32) []*embedding.SparseGrad {
+	if m.batch == nil {
+		panic("core: Backward before Forward")
+	}
+	B := m.batch.Batch()
+	d := m.Cfg.EmbeddingDim
+	s := m.Cfg.NumSparse()
+
+	dout := tensor.New(B, 1)
+	for i := 0; i < B; i++ {
+		dout.Set(i, 0, dLogits[i])
+	}
+	dXTop := m.Top.Backward(dout)
+
+	if len(m.dPooled) != s || (s > 0 && m.dPooled[0].Rows != B) {
+		m.dPooled = make([]*tensor.Matrix, s)
+		for i := range m.dPooled {
+			m.dPooled[i] = tensor.New(B, d)
+		}
+		m.dZ = tensor.New(B, d)
+	}
+	m.dZ.Zero()
+	for i := range m.dPooled {
+		m.dPooled[i].Zero()
+	}
+
+	switch m.Cfg.Interaction {
+	case DotProduct:
+		for r := 0; r < B; r++ {
+			g := dXTop.Row(r)
+			tensor.AddTo(m.dZ.Row(r), g[:d])
+			vecs := make([][]float32, s+1)
+			dvecs := make([][]float32, s+1)
+			vecs[0], dvecs[0] = m.z.Row(r), m.dZ.Row(r)
+			for i := 0; i < s; i++ {
+				vecs[i+1], dvecs[i+1] = m.pooled[i].Row(r), m.dPooled[i].Row(r)
+			}
+			k := d
+			for i := 0; i <= s; i++ {
+				for j := i + 1; j <= s; j++ {
+					gd := g[k]
+					k++
+					if gd == 0 {
+						continue
+					}
+					tensor.Axpy(gd, vecs[j], dvecs[i])
+					tensor.Axpy(gd, vecs[i], dvecs[j])
+				}
+			}
+		}
+	default:
+		for r := 0; r < B; r++ {
+			g := dXTop.Row(r)
+			tensor.AddTo(m.dZ.Row(r), g[:d])
+			for i := 0; i < s; i++ {
+				tensor.AddTo(m.dPooled[i].Row(r), g[(i+1)*d:(i+2)*d])
+			}
+		}
+	}
+
+	m.Bottom.Backward(m.dZ)
+
+	grads := make([]*embedding.SparseGrad, s)
+	for i, tab := range m.Tables {
+		grads[i] = embedding.NewSparseGrad(d)
+		tab.Backward(m.batch.Bags[i], m.dPooled[i], grads[i])
+	}
+	return grads
+}
+
+// DenseParams returns the MLP parameters (bottom then top) for optimizers
+// and EASGD synchronization.
+func (m *Model) DenseParams() []nn.Param {
+	return append(m.Bottom.Params(), m.Top.Params()...)
+}
+
+// ZeroGrad clears accumulated MLP gradients.
+func (m *Model) ZeroGrad() {
+	m.Bottom.ZeroGrad()
+	m.Top.ZeroGrad()
+}
+
+// Predict runs Forward and converts logits to probabilities.
+func (m *Model) Predict(b *MiniBatch) []float32 {
+	logits := m.Forward(b)
+	probs := make([]float32, len(logits))
+	nn.SigmoidVec(probs, logits)
+	return probs
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/nn"
+	"repro/internal/optim"
+)
+
+// OptimizerKind selects the dense-side optimizer.
+type OptimizerKind string
+
+const (
+	// OptSGD uses plain SGD for MLPs and embeddings.
+	OptSGD OptimizerKind = "sgd"
+	// OptAdagrad uses AdaGrad for MLPs and row-wise AdaGrad for
+	// embeddings, the production default.
+	OptAdagrad OptimizerKind = "adagrad"
+)
+
+// TrainerConfig holds the hyper-parameters of a single-node trainer.
+type TrainerConfig struct {
+	Optimizer   OptimizerKind
+	LR          float64 // dense learning rate
+	SparseLR    float64 // embedding learning rate (defaults to LR)
+	WarmupIters int     // linear LR warmup length
+}
+
+// Trainer couples a model with its optimizers and runs mini-batch steps.
+type Trainer struct {
+	Model *Model
+	cfg   TrainerConfig
+
+	sgd     *optim.SGD
+	adagrad *optim.Adagrad
+	sparseS []*optim.SparseSGD
+	sparseA []*optim.RowWiseAdagrad
+	sched   optim.WarmupSchedule
+	iter    int
+}
+
+// NewTrainer builds a trainer for the model.
+func NewTrainer(m *Model, cfg TrainerConfig) *Trainer {
+	if cfg.LR <= 0 {
+		panic("core: trainer LR must be positive")
+	}
+	if cfg.SparseLR <= 0 {
+		cfg.SparseLR = cfg.LR
+	}
+	if cfg.Optimizer == "" {
+		cfg.Optimizer = OptAdagrad
+	}
+	t := &Trainer{Model: m, cfg: cfg, sched: optim.WarmupSchedule{Base: cfg.LR, WarmupIters: cfg.WarmupIters}}
+	switch cfg.Optimizer {
+	case OptSGD:
+		t.sgd = optim.NewSGD(m.DenseParams(), float32(cfg.LR))
+		for _, tab := range m.Tables {
+			t.sparseS = append(t.sparseS, &optim.SparseSGD{LR: float32(cfg.SparseLR), Table: tab})
+		}
+	case OptAdagrad:
+		t.adagrad = optim.NewAdagrad(m.DenseParams(), float32(cfg.LR))
+		for _, tab := range m.Tables {
+			t.sparseA = append(t.sparseA, optim.NewRowWiseAdagrad(tab, float32(cfg.SparseLR)))
+		}
+	default:
+		panic(fmt.Sprintf("core: unknown optimizer %q", cfg.Optimizer))
+	}
+	return t
+}
+
+// Iter returns the number of steps taken.
+func (t *Trainer) Iter() int { return t.iter }
+
+// Step runs one forward/backward/update over the batch and returns the
+// batch's training loss.
+func (t *Trainer) Step(b *MiniBatch) float64 {
+	logits := t.Model.Forward(b)
+	grad := make([]float32, len(logits))
+	loss := nn.BCEWithLogits(logits, b.Labels, grad)
+
+	t.Model.ZeroGrad()
+	sparseGrads := t.Model.Backward(grad)
+
+	lr := t.sched.At(t.iter)
+	scale := float32(lr / t.cfg.LR)
+	switch t.cfg.Optimizer {
+	case OptSGD:
+		t.sgd.LR = float32(lr)
+		t.sgd.Step()
+		for i, s := range t.sparseS {
+			s.LR = float32(t.cfg.SparseLR) * scale
+			s.Apply(sparseGrads[i])
+		}
+	case OptAdagrad:
+		t.adagrad.LR = float32(lr)
+		t.adagrad.Step()
+		for i, s := range t.sparseA {
+			s.LR = float32(t.cfg.SparseLR) * scale
+			s.Apply(sparseGrads[i])
+		}
+	}
+	t.iter++
+	return loss
+}
+
+// EvalResult aggregates model-quality metrics over an evaluation set.
+type EvalResult struct {
+	LogLoss  float64
+	NE       float64 // normalized entropy (§VI-C); lower is better
+	Accuracy float64
+	Examples int
+}
+
+// Evaluate scores the model on the given batches without training.
+func Evaluate(m *Model, batches []*MiniBatch) EvalResult {
+	var preds, labels []float32
+	for _, b := range batches {
+		preds = append(preds, m.Predict(b)...)
+		labels = append(labels, b.Labels...)
+	}
+	return EvalResult{
+		LogLoss:  nn.LogLoss(preds, labels),
+		NE:       nn.NormalizedEntropy(preds, labels),
+		Accuracy: nn.Accuracy(preds, labels, 0.5),
+		Examples: len(labels),
+	}
+}
+
+// modelSnapshot is the gob wire format for model weights.
+type modelSnapshot struct {
+	Dense  [][]float32
+	Tables [][]float32
+}
+
+// SaveWeights serializes the model's parameters.
+func (m *Model) SaveWeights(w io.Writer) error {
+	snap := modelSnapshot{}
+	for _, p := range m.DenseParams() {
+		snap.Dense = append(snap.Dense, p.Value)
+	}
+	for _, t := range m.Tables {
+		snap.Tables = append(snap.Tables, t.Weights.Data)
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// LoadWeights restores parameters saved by SaveWeights into a model built
+// from the same Config.
+func (m *Model) LoadWeights(r io.Reader) error {
+	var snap modelSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("core: decoding weights: %w", err)
+	}
+	dense := m.DenseParams()
+	if len(snap.Dense) != len(dense) || len(snap.Tables) != len(m.Tables) {
+		return fmt.Errorf("core: snapshot shape mismatch (%d/%d dense, %d/%d tables)",
+			len(snap.Dense), len(dense), len(snap.Tables), len(m.Tables))
+	}
+	for i, p := range dense {
+		if len(snap.Dense[i]) != len(p.Value) {
+			return fmt.Errorf("core: dense param %d length %d != %d", i, len(snap.Dense[i]), len(p.Value))
+		}
+		copy(p.Value, snap.Dense[i])
+	}
+	for i, t := range m.Tables {
+		if len(snap.Tables[i]) != len(t.Weights.Data) {
+			return fmt.Errorf("core: table %d length %d != %d", i, len(snap.Tables[i]), len(t.Weights.Data))
+		}
+		copy(t.Weights.Data, snap.Tables[i])
+	}
+	return nil
+}
+
+// TotalLookups sums the access counters across all tables.
+func (m *Model) TotalLookups() uint64 {
+	var n uint64
+	for _, t := range m.Tables {
+		n += t.Lookups()
+	}
+	return n
+}
+
+// EmbeddingBytes returns the actual embedding footprint of this model.
+func (m *Model) EmbeddingBytes() int64 {
+	var b int64
+	for _, t := range m.Tables {
+		b += t.Bytes()
+	}
+	return b
+}

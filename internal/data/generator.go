@@ -1,0 +1,226 @@
+// Package data synthesizes click-through-rate training data with the
+// statistical structure the paper attributes to production workloads:
+// dense features, multi-hot sparse features whose per-example lengths
+// follow a truncated power law (Fig 7), embedding-row popularity following
+// a Zipf law (the irregular-access characterization of §III-A2), and
+// labels planted by a hidden teacher model so that model quality (NE,
+// accuracy) is a meaningful, improvable metric.
+//
+// The paper trains from Hive via decoupled reader servers (§IV-B2); the
+// Reader type mirrors that arrangement with a bounded channel so trainers
+// never stall on data generation in the real-training experiments.
+package data
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/embedding"
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// GeneratorOptions tune the synthetic distribution.
+type GeneratorOptions struct {
+	// TeacherScale multiplies the hidden teacher's logits; larger
+	// values make labels more learnable (less label noise).
+	TeacherScale float64
+	// TargetCTR shifts teacher logits so the positive rate is roughly
+	// this value. Production CTR-style tasks sit well below 0.5.
+	TargetCTR float64
+	// IndexSkew is the Zipf exponent for embedding-row popularity
+	// (> 1). Higher values concentrate lookups on fewer rows.
+	IndexSkew float64
+	// LengthSkew is the power-law exponent of per-example multi-hot
+	// lengths.
+	LengthSkew float64
+}
+
+// DefaultOptions returns the options used across the experiments.
+func DefaultOptions() GeneratorOptions {
+	return GeneratorOptions{
+		TeacherScale: 3.0,
+		TargetCTR:    0.25,
+		IndexSkew:    1.2,
+		LengthSkew:   1.1,
+	}
+}
+
+// Generator produces MiniBatches for a model config.
+type Generator struct {
+	cfg  core.Config
+	opts GeneratorOptions
+	rng  *xrand.RNG
+
+	teacher   *core.Model
+	bias      float32
+	lengthGen []*xrand.BoundedZipf
+	indexGen  []*rand.Zipf
+}
+
+// NewGenerator builds a deterministic generator for cfg. The teacher model
+// is drawn from the same config (with small MLP stacks) using a seed
+// derived from the given one, so two generators with equal seeds produce
+// identical streams.
+func NewGenerator(cfg core.Config, seed int64, opts GeneratorOptions) *Generator {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	rng := xrand.New(seed)
+	g := &Generator{cfg: cfg, opts: opts, rng: rng}
+
+	// The teacher shares the feature space but uses compact MLPs: its
+	// job is to plant learnable structure, not to be expensive.
+	tCfg := cfg
+	tCfg.Name = cfg.Name + "-teacher"
+	tCfg.BottomMLP = []int{16}
+	tCfg.TopMLP = []int{16}
+	g.teacher = core.NewModel(tCfg, rng.Split())
+
+	for _, s := range cfg.Sparse {
+		lg := xrand.NewBoundedZipf(rng.Split(), opts.LengthSkew, s.MaxPooled)
+		g.lengthGen = append(g.lengthGen, lg)
+		ir := xrand.New(int64(rng.Uint64()))
+		g.indexGen = append(g.indexGen, ir.Zipf(opts.IndexSkew, uint64(s.HashSize-1)))
+	}
+
+	g.calibrateBias()
+	return g
+}
+
+// calibrateBias estimates the logit shift needed to hit TargetCTR using a
+// probe batch.
+func (g *Generator) calibrateBias() {
+	probe := g.rawBatch(256)
+	logits := g.teacher.Forward(probe)
+	// Mean teacher logit, scaled.
+	var mean float64
+	for _, z := range logits {
+		mean += float64(z)
+	}
+	mean = mean * g.opts.TeacherScale / float64(len(logits))
+	// logit(p) = ln(p/(1-p)); shift so scaled mean maps near target.
+	target := g.opts.TargetCTR
+	if target <= 0 || target >= 1 {
+		target = 0.25
+	}
+	wantLogit := float32(math.Log(target / (1 - target)))
+	g.bias = wantLogit - float32(mean)
+}
+
+// rawBatch generates features (no labels yet).
+func (g *Generator) rawBatch(b int) *core.MiniBatch {
+	dense := tensor.New(b, g.cfg.DenseFeatures)
+	for i := range dense.Data {
+		dense.Data[i] = float32(g.rng.Norm())
+	}
+	bags := make([]embedding.Bag, g.cfg.NumSparse())
+	for f := range g.cfg.Sparse {
+		hashSize := g.cfg.Sparse[f].HashSize
+		meanTarget := g.cfg.Sparse[f].MeanPooled
+		scale := meanTarget / g.lengthGen[f].Mean()
+		per := make([][]int32, b)
+		for i := 0; i < b; i++ {
+			// Draw a power-law length, rescaled toward the
+			// configured mean, at least 1, truncated at max.
+			n := int(float64(g.lengthGen[f].Sample())*scale + 0.5)
+			if n < 1 {
+				n = 1
+			}
+			if n > g.cfg.Sparse[f].MaxPooled {
+				n = g.cfg.Sparse[f].MaxPooled
+			}
+			idxs := make([]int32, n)
+			for k := range idxs {
+				v := g.indexGen[f].Uint64()
+				if v >= uint64(hashSize) {
+					v = uint64(hashSize) - 1
+				}
+				idxs[k] = int32(v)
+			}
+			per[i] = idxs
+		}
+		bags[f] = embedding.NewBag(per)
+	}
+	return &core.MiniBatch{Dense: dense, Bags: bags, Labels: make([]float32, b)}
+}
+
+// NextBatch generates a labeled batch of b examples.
+func (g *Generator) NextBatch(b int) *core.MiniBatch {
+	mb := g.rawBatch(b)
+	logits := g.teacher.Forward(mb)
+	for i, z := range logits {
+		p := tensor.Sigmoid(float32(g.opts.TeacherScale)*z + g.bias)
+		if g.rng.Float32() < p {
+			mb.Labels[i] = 1
+		}
+	}
+	return mb
+}
+
+// Config returns the model config this generator serves.
+func (g *Generator) Config() core.Config { return g.cfg }
+
+// Fork returns a generator that shares this generator's hidden teacher —
+// and therefore its label function — but draws features from an
+// independent stream seeded by seed. Distributed trainers and held-out
+// evaluation sets must Fork one base generator so they see the same
+// planted task.
+func (g *Generator) Fork(seed int64) *Generator {
+	rng := xrand.New(seed)
+	f := &Generator{
+		cfg:  g.cfg,
+		opts: g.opts,
+		rng:  rng,
+		// Weight-sharing clone: same label function, but private
+		// activation buffers so forks are safe on separate goroutines.
+		teacher: g.teacher.ShareWeights(),
+		bias:    g.bias,
+	}
+	for _, s := range g.cfg.Sparse {
+		f.lengthGen = append(f.lengthGen, xrand.NewBoundedZipf(rng.Split(), g.opts.LengthSkew, s.MaxPooled))
+		ir := xrand.New(int64(rng.Uint64()))
+		f.indexGen = append(f.indexGen, ir.Zipf(g.opts.IndexSkew, uint64(s.HashSize-1)))
+	}
+	return f
+}
+
+// EvalSet produces n batches for held-out evaluation.
+func (g *Generator) EvalSet(batches, batchSize int) []*core.MiniBatch {
+	out := make([]*core.MiniBatch, batches)
+	for i := range out {
+		out[i] = g.NextBatch(batchSize)
+	}
+	return out
+}
+
+// Reader streams batches through a bounded channel from a dedicated
+// goroutine, mirroring the decoupled reader tier of the production
+// pipeline. Close stops the producer.
+type Reader struct {
+	C    <-chan *core.MiniBatch
+	stop chan struct{}
+}
+
+// NewReader starts a reader producing batches of the given size with the
+// given channel depth.
+func NewReader(g *Generator, batchSize, depth int) *Reader {
+	ch := make(chan *core.MiniBatch, depth)
+	stop := make(chan struct{})
+	go func() {
+		defer close(ch)
+		for {
+			b := g.NextBatch(batchSize)
+			select {
+			case ch <- b:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return &Reader{C: ch, stop: stop}
+}
+
+// Close terminates the producing goroutine.
+func (r *Reader) Close() { close(r.stop) }

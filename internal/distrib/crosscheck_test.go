@@ -1,0 +1,105 @@
+package distrib
+
+import (
+	"testing"
+
+	"repro/internal/data"
+)
+
+// TestWireBytesMatchAnalyticModel cross-validates the real cluster's byte
+// meters against the analytic cost model's traffic formulas: per
+// iteration, the sparse exchange carries the lookup indices (B·L·4), the
+// pooled responses (B·S·d·4), and the row gradients.
+func TestWireBytesMatchAnalyticModel(t *testing.T) {
+	cfg := clusterCfg()
+	cc := ClusterConfig{Trainers: 1, SparsePS: 2, Hogwild: 1, BatchSize: 64, EASGDPeriod: 1000}
+	cl, err := NewCluster(cfg, cc, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := 20
+	res, err := cl.Train(cc, genFactory(cfg), iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	B := float64(cc.BatchSize)
+	L := cfg.LookupsPerExample()
+	d := float64(cfg.EmbeddingDim)
+	S := float64(cfg.NumSparse())
+	// Analytic per-iteration wire bytes, excluding gradient rows (which
+	// depend on the number of distinct rows touched).
+	perIterMin := B*L*4 + B*S*d*4
+	// Upper bound: every lookup touches a distinct row, each shipping a
+	// d-vector gradient plus its index.
+	perIterMax := perIterMin + B*L*(d+1)*4
+
+	measured := float64(res.SparseBytes) / float64(iters)
+	if measured < perIterMin || measured > perIterMax {
+		t.Errorf("sparse wire bytes/iter = %.0f, analytic range [%.0f, %.0f]",
+			measured, perIterMin, perIterMax)
+	}
+
+	// Dense EASGD traffic: 2 × parameter bytes per sync.
+	denseBytes := float64(cfg.DenseParamBytes())
+	syncs := float64(cl.DensePS.Syncs())
+	if syncs > 0 {
+		perSync := float64(res.DenseBytes) / syncs
+		if perSync != 2*denseBytes {
+			t.Errorf("dense bytes/sync = %v, want %v", perSync, 2*denseBytes)
+		}
+	}
+}
+
+// TestLookupVolumeMatchesConfig: the generator's mean pooled lengths feed
+// through to the tables' access counters.
+func TestLookupVolumeMatchesConfig(t *testing.T) {
+	cfg := clusterCfg()
+	cc := ClusterConfig{Trainers: 1, SparsePS: 1, BatchSize: 128}
+	cl, err := NewCluster(cfg, cc, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := 20
+	if _, err := cl.Train(cc, genFactory(cfg), iters); err != nil {
+		t.Fatal(err)
+	}
+	var lookups uint64
+	for _, tab := range cl.reference.Tables {
+		lookups += tab.Lookups()
+	}
+	examples := float64(iters * 128)
+	perExample := float64(lookups) / examples
+	want := cfg.LookupsPerExample()
+	// The generator's rescaled power law lands near the configured mean.
+	if perExample < want*0.4 || perExample > want*2.0 {
+		t.Errorf("observed %.1f lookups/example, configured %.1f", perExample, want)
+	}
+}
+
+// TestGeneratorForkSharesTask: two forks of one generator are learnable
+// by a single model interchangeably (shared teacher).
+func TestGeneratorForkSharesTask(t *testing.T) {
+	cfg := clusterCfg()
+	base := data.NewGenerator(cfg, 21, data.DefaultOptions())
+	a := base.Fork(1)
+	bgen := base.Fork(2)
+	// Labels from both forks must have similar base rates (same task).
+	rate := func(g *data.Generator) float64 {
+		pos, n := 0.0, 0.0
+		for i := 0; i < 10; i++ {
+			b := g.NextBatch(128)
+			for _, y := range b.Labels {
+				n++
+				if y > 0.5 {
+					pos++
+				}
+			}
+		}
+		return pos / n
+	}
+	ra, rb := rate(a), rate(bgen)
+	if diff := ra - rb; diff > 0.1 || diff < -0.1 {
+		t.Errorf("forked generators disagree on base rate: %v vs %v", ra, rb)
+	}
+}

@@ -1,0 +1,307 @@
+// Package distrib implements the paper's distributed training pipeline
+// (Fig 4) as a real, in-process system: trainer goroutines run Hogwild!
+// threads over shared model replicas, a dense parameter server performs
+// Elastic-Averaging SGD exchanges, and embedding tables are sharded
+// table-wise across sparse parameter-server shards that meter every byte
+// crossing the (simulated) wire.
+//
+// Gradients, models, and updates are all real — this is the substrate for
+// the paper's model-quality experiments at distributed scale, and its
+// byte meters tie the analytic cost model to observed traffic.
+package distrib
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/embedding"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// DensePS is the master copy of the MLP parameters. Trainers exchange
+// with it using the symmetric EASGD rule under a mutex (the production
+// system's "center" parameters).
+type DensePS struct {
+	mu     sync.Mutex
+	center []nn.Param
+	bytes  atomic.Int64
+	syncs  atomic.Int64
+}
+
+// NewDensePS snapshots the given model's dense parameters as the center.
+func NewDensePS(m *core.Model) *DensePS {
+	c := m.Clone()
+	return &DensePS{center: c.DenseParams()}
+}
+
+// Sync performs one elastic exchange between worker parameters and the
+// center, accounting the wire traffic (parameters down + up).
+func (ps *DensePS) Sync(worker []nn.Param, alpha float32) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	optim.EASGDSyncParams(worker, ps.center, alpha)
+	var n int64
+	for _, p := range worker {
+		n += int64(len(p.Value)) * 4
+	}
+	ps.bytes.Add(2 * n)
+	ps.syncs.Add(1)
+}
+
+// Center returns the center parameter list (for evaluation snapshots).
+func (ps *DensePS) Center() []nn.Param { return ps.center }
+
+// BytesTransferred returns cumulative EASGD wire bytes.
+func (ps *DensePS) BytesTransferred() int64 { return ps.bytes.Load() }
+
+// Syncs returns the number of elastic exchanges served.
+func (ps *DensePS) Syncs() int64 { return ps.syncs.Load() }
+
+// SparsePS is one shard of the sharded sparse parameter servers: it owns
+// a subset of the embedding tables and applies row-wise AdaGrad updates.
+type SparsePS struct {
+	Shard  int
+	tables map[int]*embedding.Table // feature index -> table
+	opts   map[int]*optim.RowWiseAdagrad
+	bytes  atomic.Int64
+	reqs   atomic.Int64
+}
+
+// Lookup pools the bag for feature f into out and meters response bytes.
+func (ps *SparsePS) Lookup(f int, bag embedding.Bag, out *tensor.Matrix) {
+	t, ok := ps.tables[f]
+	if !ok {
+		panic(fmt.Sprintf("distrib: shard %d does not own feature %d", ps.Shard, f))
+	}
+	t.Forward(bag, out)
+	ps.bytes.Add(int64(len(bag.Indices))*4 + int64(out.Rows*out.Cols)*4)
+	ps.reqs.Add(1)
+}
+
+// ApplyGrad applies a sparse gradient to the shard's table and meters
+// request bytes.
+func (ps *SparsePS) ApplyGrad(f int, sg *embedding.SparseGrad) {
+	opt, ok := ps.opts[f]
+	if !ok {
+		panic(fmt.Sprintf("distrib: shard %d does not own feature %d", ps.Shard, f))
+	}
+	opt.Apply(sg)
+	ps.bytes.Add(int64(sg.NumRows()) * int64(sg.Dim+1) * 4)
+	ps.reqs.Add(1)
+}
+
+// BytesTransferred returns cumulative wire bytes served by the shard.
+func (ps *SparsePS) BytesTransferred() int64 { return ps.bytes.Load() }
+
+// Requests returns the number of lookup/update RPCs served.
+func (ps *SparsePS) Requests() int64 { return ps.reqs.Load() }
+
+// Cluster is a full distributed training deployment.
+type Cluster struct {
+	Cfg      core.Config
+	DensePS  *DensePS
+	SparsePS []*SparsePS
+	// owner[f] is the shard owning feature f.
+	owner []int
+
+	reference *core.Model // architecture template for worker replicas
+	sparseLR  float32
+}
+
+// ClusterConfig sizes a deployment.
+type ClusterConfig struct {
+	Trainers   int
+	SparsePS   int
+	Hogwild    int // Hogwild! threads per trainer
+	BatchSize  int
+	LR         float64
+	SparseLR   float64
+	EASGDAlpha float64
+	// EASGDPeriod is the number of iterations between elastic syncs.
+	EASGDPeriod int
+}
+
+// Defaults fills unset fields with the paper's common choices.
+func (c *ClusterConfig) Defaults() {
+	if c.Trainers == 0 {
+		c.Trainers = 2
+	}
+	if c.SparsePS == 0 {
+		c.SparsePS = 2
+	}
+	if c.Hogwild == 0 {
+		c.Hogwild = 1
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 100
+	}
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+	if c.SparseLR == 0 {
+		c.SparseLR = c.LR
+	}
+	if c.EASGDAlpha == 0 {
+		c.EASGDAlpha = 0.3
+	}
+	if c.EASGDPeriod == 0 {
+		c.EASGDPeriod = 4
+	}
+}
+
+// NewCluster builds the deployment: a reference model, the dense center,
+// and table-wise sharded sparse parameter servers balanced by size and
+// access (the §III-A2 greedy partitioner).
+func NewCluster(cfg core.Config, cc ClusterConfig, seed int64) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cc.Defaults()
+	rng := xrand.New(seed)
+	ref := core.NewModel(cfg, rng)
+
+	cl := &Cluster{Cfg: cfg, reference: ref, sparseLR: float32(cc.SparseLR)}
+	cl.DensePS = NewDensePS(ref)
+
+	stats := make([]embedding.TableStat, cfg.NumSparse())
+	for i, s := range cfg.TableStats() {
+		stats[i] = embedding.TableStat{Index: s.Index, Bytes: s.Bytes, MeanPooled: s.MeanPooled}
+	}
+	asg, _ := embedding.TableWiseGreedy(stats, cc.SparsePS, 0.5)
+	cl.owner = make([]int, cfg.NumSparse())
+	cl.SparsePS = make([]*SparsePS, cc.SparsePS)
+	for i := range cl.SparsePS {
+		cl.SparsePS[i] = &SparsePS{
+			Shard:  i,
+			tables: map[int]*embedding.Table{},
+			opts:   map[int]*optim.RowWiseAdagrad{},
+		}
+	}
+	for f, shard := range asg {
+		cl.owner[f] = shard
+		cl.SparsePS[shard].tables[f] = ref.Tables[f]
+		cl.SparsePS[shard].opts[f] = optim.NewRowWiseAdagrad(ref.Tables[f], float32(cc.SparseLR))
+	}
+	return cl, nil
+}
+
+// Owner returns the shard index owning feature f.
+func (cl *Cluster) Owner(f int) int { return cl.owner[f] }
+
+// TrainResult summarizes one distributed training run.
+type TrainResult struct {
+	Examples    int64
+	MeanLoss    float64
+	DenseBytes  int64
+	SparseBytes int64
+}
+
+// Train runs the full pipeline: cc.Trainers trainer goroutines, each with
+// cc.Hogwild Hogwild! threads, consuming iters mini-batches per thread
+// from per-thread generators, doing remote-style lookups against the
+// sparse shards and EASGD syncs against the dense center.
+func (cl *Cluster) Train(cc ClusterConfig, gen func(trainer, thread int) *data.Generator, iters int) (TrainResult, error) {
+	cc.Defaults()
+	if gen == nil {
+		return TrainResult{}, fmt.Errorf("distrib: nil generator factory")
+	}
+	var examples atomic.Int64
+	var lossSum, lossN atomic.Int64 // fixed-point loss accumulation (micro-units)
+
+	var wg sync.WaitGroup
+	for t := 0; t < cc.Trainers; t++ {
+		// Each trainer holds a local dense replica; Hogwild threads
+		// share it without locks (the paper's intra-trainer mode).
+		local := cl.newWorkerModel(int64(t))
+		for h := 0; h < cc.Hogwild; h++ {
+			wg.Add(1)
+			go func(t, h int) {
+				defer wg.Done()
+				worker := local.ShareWeights()
+				g := gen(t, h)
+				opt := optim.NewSGD(worker.DenseParams(), float32(cc.LR))
+				for it := 0; it < iters; it++ {
+					b := g.NextBatch(cc.BatchSize)
+					loss := cl.step(worker, opt, b)
+					examples.Add(int64(cc.BatchSize))
+					lossSum.Add(int64(loss * 1e6))
+					lossN.Add(1)
+					if h == 0 && (it+1)%cc.EASGDPeriod == 0 {
+						cl.DensePS.Sync(local.DenseParams(), float32(cc.EASGDAlpha))
+					}
+				}
+			}(t, h)
+		}
+	}
+	wg.Wait()
+
+	res := TrainResult{
+		Examples:   examples.Load(),
+		DenseBytes: cl.DensePS.BytesTransferred(),
+	}
+	for _, ps := range cl.SparsePS {
+		res.SparseBytes += ps.BytesTransferred()
+	}
+	if n := lossN.Load(); n > 0 {
+		res.MeanLoss = float64(lossSum.Load()) / 1e6 / float64(n)
+	}
+	return res, nil
+}
+
+// newWorkerModel creates a trainer-local model: private dense parameters
+// initialized from the center, shared (remote) embedding tables.
+func (cl *Cluster) newWorkerModel(seed int64) *core.Model {
+	_ = seed // replicas start from the center; seed reserved for future perturbation
+	return &core.Model{
+		Cfg:    cl.Cfg,
+		Bottom: cl.reference.Bottom.Clone(),
+		Top:    cl.reference.Top.Clone(),
+		Tables: cl.reference.Tables, // embedding rows stay remote/shared
+	}
+}
+
+// step runs forward/backward on the worker, routing pooled lookups and
+// gradient pushes through the owning shards. Because the worker model
+// shares table storage with the shards, Forward reads the same rows the
+// shard would serve; the shard's meters account the would-be wire bytes.
+func (cl *Cluster) step(worker *core.Model, opt *optim.SGD, b *core.MiniBatch) float64 {
+	// Meter the lookups on the owning shards.
+	for f, bag := range b.Bags {
+		ps := cl.SparsePS[cl.owner[f]]
+		ps.bytes.Add(int64(len(bag.Indices))*4 + int64(bag.Batch()*worker.Cfg.EmbeddingDim)*4)
+		ps.reqs.Add(1)
+	}
+	logits := worker.Forward(b)
+	grad := make([]float32, len(logits))
+	loss := nn.BCEWithLogits(logits, b.Labels, grad)
+	worker.ZeroGrad()
+	sparse := worker.Backward(grad)
+	opt.Step()
+	for f, sg := range sparse {
+		cl.SparsePS[cl.owner[f]].ApplyGrad(f, sg)
+	}
+	return loss
+}
+
+// EvalModel materializes a model holding the center dense parameters and
+// the shard tables, for held-out evaluation.
+func (cl *Cluster) EvalModel() *core.Model {
+	m := &core.Model{
+		Cfg:    cl.Cfg,
+		Bottom: cl.reference.Bottom.Clone(),
+		Top:    cl.reference.Top.Clone(),
+		Tables: cl.reference.Tables,
+	}
+	dst := m.DenseParams()
+	src := cl.DensePS.Center()
+	for i := range dst {
+		copy(dst[i].Value, src[i].Value)
+	}
+	return m
+}

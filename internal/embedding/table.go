@@ -1,0 +1,189 @@
+// Package embedding implements the sparse side of the recommendation
+// model: embedding tables accessed through the hashing trick, pooled
+// multi-hot (EmbeddingBag) lookups, sparse gradients, and the sharding
+// schemes (table-wise, row-wise) used to place tables across devices and
+// parameter-server shards.
+//
+// In the paper (§III-A) each sparse feature owns a table of hashSize × dim
+// learned vectors; a training example activates n indices per feature and
+// the n vectors are sum-pooled into the feature's dense representation.
+package embedding
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// Table is one embedding lookup table with hashSize rows of dim floats.
+type Table struct {
+	Name     string
+	HashSize int
+	Dim      int
+	// Weights is the hashSize×dim parameter matrix. Hogwild workers
+	// share it and update it without locks, as in the paper's CPU
+	// training stack.
+	Weights *tensor.Matrix
+
+	// lookups counts individual row accesses (atomic; shared across
+	// workers). The trace package uses it for the Fig 6/7 style
+	// access-frequency characterization.
+	lookups atomic.Uint64
+}
+
+// NewTable allocates and initializes a table. Rows are initialized
+// uniformly in ±1/√dim, the conventional DLRM scheme.
+func NewTable(name string, hashSize, dim int, rng *xrand.RNG) *Table {
+	if hashSize <= 0 || dim <= 0 {
+		panic(fmt.Sprintf("embedding: invalid table %s size %dx%d", name, hashSize, dim))
+	}
+	t := &Table{
+		Name:     name,
+		HashSize: hashSize,
+		Dim:      dim,
+		Weights:  tensor.New(hashSize, dim),
+	}
+	bound := float32(1.0 / math.Sqrt(float64(dim)))
+	tensor.UniformInit(t.Weights, bound, rng)
+	return t
+}
+
+// HashIndex maps an arbitrary categorical ID into [0, HashSize) using
+// FNV-1a — the "hashing trick" of §III-A1 that bounds table size at the
+// cost of collisions.
+func (t *Table) HashIndex(rawID uint64) int32 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(rawID >> (8 * i))
+	}
+	h.Write(buf[:])
+	return int32(h.Sum64() % uint64(t.HashSize))
+}
+
+// Bytes returns the parameter storage footprint in bytes (fp32).
+func (t *Table) Bytes() int64 {
+	return int64(t.HashSize) * int64(t.Dim) * 4
+}
+
+// Lookups returns the cumulative number of row accesses served.
+func (t *Table) Lookups() uint64 { return t.lookups.Load() }
+
+// ResetLookups zeroes the access counter.
+func (t *Table) ResetLookups() { t.lookups.Store(0) }
+
+// Bag is a batch of pooled lookups in offsets/indices form (one sparse
+// feature, B examples). Example i activates
+// Indices[Offsets[i]:Offsets[i+1]].
+type Bag struct {
+	Indices []int32
+	Offsets []int32 // length B+1; Offsets[0] == 0
+}
+
+// NewBag builds a Bag from per-example index lists.
+func NewBag(perExample [][]int32) Bag {
+	b := Bag{Offsets: make([]int32, 1, len(perExample)+1)}
+	for _, idxs := range perExample {
+		b.Indices = append(b.Indices, idxs...)
+		b.Offsets = append(b.Offsets, int32(len(b.Indices)))
+	}
+	return b
+}
+
+// Batch returns the number of examples in the bag.
+func (b Bag) Batch() int { return len(b.Offsets) - 1 }
+
+// TotalLookups returns the number of row accesses the bag requires.
+func (b Bag) TotalLookups() int { return len(b.Indices) }
+
+// Validate checks structural invariants and index bounds against a table.
+func (b Bag) Validate(hashSize int) error {
+	if len(b.Offsets) == 0 || b.Offsets[0] != 0 {
+		return fmt.Errorf("embedding: bag offsets must start at 0")
+	}
+	for i := 1; i < len(b.Offsets); i++ {
+		if b.Offsets[i] < b.Offsets[i-1] {
+			return fmt.Errorf("embedding: bag offsets not monotone at %d", i)
+		}
+	}
+	if int(b.Offsets[len(b.Offsets)-1]) != len(b.Indices) {
+		return fmt.Errorf("embedding: bag final offset %d != len(indices) %d",
+			b.Offsets[len(b.Offsets)-1], len(b.Indices))
+	}
+	for _, ix := range b.Indices {
+		if ix < 0 || int(ix) >= hashSize {
+			return fmt.Errorf("embedding: index %d out of [0,%d)", ix, hashSize)
+		}
+	}
+	return nil
+}
+
+// Forward sum-pools the bag's rows into out (B×dim). out must be
+// pre-allocated with Batch() rows.
+func (t *Table) Forward(bag Bag, out *tensor.Matrix) {
+	if out.Rows != bag.Batch() || out.Cols != t.Dim {
+		panic(fmt.Sprintf("embedding: output shape %dx%d, want %dx%d",
+			out.Rows, out.Cols, bag.Batch(), t.Dim))
+	}
+	for i := 0; i < bag.Batch(); i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] = 0
+		}
+		for _, ix := range bag.Indices[bag.Offsets[i]:bag.Offsets[i+1]] {
+			tensor.AddTo(row, t.Weights.Row(int(ix)))
+		}
+	}
+	t.lookups.Add(uint64(bag.TotalLookups()))
+}
+
+// SparseGrad accumulates per-row gradients for one table across a batch.
+// With sum pooling, the gradient of every activated row in example i is
+// the example's pooled-output gradient.
+type SparseGrad struct {
+	Dim  int
+	Rows map[int32][]float32
+}
+
+// NewSparseGrad returns an empty accumulator for rows of width dim.
+func NewSparseGrad(dim int) *SparseGrad {
+	return &SparseGrad{Dim: dim, Rows: make(map[int32][]float32)}
+}
+
+// Add accumulates g into row ix.
+func (s *SparseGrad) Add(ix int32, g []float32) {
+	row, ok := s.Rows[ix]
+	if !ok {
+		row = make([]float32, s.Dim)
+		s.Rows[ix] = row
+	}
+	tensor.AddTo(row, g)
+}
+
+// NumRows returns the number of distinct rows touched.
+func (s *SparseGrad) NumRows() int { return len(s.Rows) }
+
+// Reset clears the accumulator, retaining allocated rows for reuse.
+func (s *SparseGrad) Reset() {
+	for k := range s.Rows {
+		delete(s.Rows, k)
+	}
+}
+
+// Backward scatters dOut (B×dim) into a SparseGrad for this table.
+func (t *Table) Backward(bag Bag, dOut *tensor.Matrix, acc *SparseGrad) {
+	if dOut.Rows != bag.Batch() || dOut.Cols != t.Dim {
+		panic(fmt.Sprintf("embedding: grad shape %dx%d, want %dx%d",
+			dOut.Rows, dOut.Cols, bag.Batch(), t.Dim))
+	}
+	for i := 0; i < bag.Batch(); i++ {
+		g := dOut.Row(i)
+		for _, ix := range bag.Indices[bag.Offsets[i]:bag.Offsets[i+1]] {
+			acc.Add(ix, g)
+		}
+	}
+}

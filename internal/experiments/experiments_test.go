@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIDsStable(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 16 {
+		t.Fatalf("%d experiments registered, want 16", len(ids))
+	}
+	for _, id := range ids {
+		if Title(id) == "" {
+			t.Errorf("experiment %s has no title", id)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("fig99", Options{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestAllExperimentsRun executes every experiment in quick mode and
+// verifies each yields non-empty output and a paper comparison.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, Options{Quick: true, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if strings.TrimSpace(res.Output) == "" {
+				t.Errorf("%s: empty output", id)
+			}
+			if strings.TrimSpace(res.PaperNote) == "" {
+				t.Errorf("%s: missing paper note", id)
+			}
+			if res.ID != id || res.Title == "" {
+				t.Errorf("%s: metadata %q %q", id, res.ID, res.Title)
+			}
+		})
+	}
+}
+
+func TestFig10ContainsRatioGrid(t *testing.T) {
+	res, err := Run("fig10", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"GPU/CPU throughput ratio", "power efficiency", "4096"} {
+		if !strings.Contains(res.Output, want) {
+			t.Errorf("fig10 output missing %q", want)
+		}
+	}
+}
+
+func TestTable3ContainsAllModels(t *testing.T) {
+	res, err := Run("table3", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"M1prod", "M2prod", "M3prod"} {
+		if !strings.Contains(res.Output, m) {
+			t.Errorf("table3 missing %s", m)
+		}
+	}
+}
+
+func TestFig12MarksOOM(t *testing.T) {
+	res, err := Run("fig12", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Output, "OOM") {
+		t.Error("fig12 should mark infeasible GPU placements as OOM")
+	}
+}
+
+func TestFig14CoversBothPlatforms(t *testing.T) {
+	res, err := Run("fig14", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Output, "BigBasin") || !strings.Contains(res.Output, "Zion") {
+		t.Error("fig14 must cover both platforms")
+	}
+}

@@ -1,0 +1,133 @@
+// Package fleet reproduces the paper's fleet-scale characterizations: the
+// run-to-run utilization distributions of Fig 5 (hundreds of training
+// runs of one ranking model at fixed scale) and the server-count
+// histograms of Fig 9 (a month of workflows choosing trainer and
+// parameter-server counts).
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// UtilizationStudy drives Fig 5: the same ranking-model *type* at the
+// same scale, re-run `runs` times with the configuration drift ML
+// engineers introduce (feature additions/removals) plus system-level
+// jitter, through the discrete-event pipeline.
+type UtilizationStudy struct {
+	// Fixed scale, as the paper controls for it.
+	Trainers int
+	SparsePS int
+	Runs     int
+	// Iterations per simulated run (small: utilization converges fast).
+	Iterations int
+	Seed       int64
+}
+
+// DefaultUtilizationStudy mirrors the paper's fixed-scale setting.
+func DefaultUtilizationStudy(runs int, seed int64) UtilizationStudy {
+	return UtilizationStudy{Trainers: 8, SparsePS: 8, Runs: runs, Iterations: 60, Seed: seed}
+}
+
+// UtilizationDistributions collects per-run mean utilizations for
+// trainer and parameter servers across the three Fig 5 axes.
+type UtilizationDistributions struct {
+	TrainerCPU, TrainerMem, TrainerNet []float64
+	PSCPU, PSMem, PSNet                []float64
+}
+
+// Run executes the study.
+func (s UtilizationStudy) Run() (UtilizationDistributions, error) {
+	if s.Runs <= 0 {
+		return UtilizationDistributions{}, fmt.Errorf("fleet: runs must be positive")
+	}
+	rng := xrand.New(s.Seed)
+	var out UtilizationDistributions
+	for r := 0; r < s.Runs; r++ {
+		// Same model type, drifting configuration: the engineer adds
+		// or removes features and tweaks pooling between runs (§III).
+		dense := 800 + rng.Intn(400)
+		sparse := 16 + rng.Intn(16)
+		pooled := 4 + 12*rng.Float64()
+		cfg := core.Config{
+			Name:          fmt.Sprintf("ranking-run%d", r),
+			DenseFeatures: dense,
+			Sparse:        core.UniformSparse(sparse, 2_000_000, pooled),
+			EmbeddingDim:  64,
+			BottomMLP:     []int{512, 256},
+			TopMLP:        []int{1024, 512, 256},
+			Interaction:   core.Concat,
+		}
+		res, err := pipeline.Run(pipeline.Config{
+			Model:      cfg,
+			Batch:      200,
+			Trainers:   s.Trainers,
+			SparsePS:   s.SparsePS,
+			Iterations: s.Iterations,
+			Seed:       int64(rng.Uint64()),
+		})
+		if err != nil {
+			return UtilizationDistributions{}, err
+		}
+		var tc, tm, tn float64
+		for _, u := range res.Trainers {
+			tc += u.CPU
+			tm += u.MemBW
+			tn += u.Net
+		}
+		k := float64(len(res.Trainers))
+		out.TrainerCPU = append(out.TrainerCPU, tc/k)
+		out.TrainerMem = append(out.TrainerMem, tm/k)
+		out.TrainerNet = append(out.TrainerNet, tn/k)
+		var pc, pm, pn float64
+		for _, u := range res.SparsePS {
+			pc += u.CPU
+			pm += u.MemBW
+			pn += u.Net
+		}
+		k = float64(len(res.SparsePS))
+		out.PSCPU = append(out.PSCPU, pc/k)
+		out.PSMem = append(out.PSMem, pm/k)
+		out.PSNet = append(out.PSNet, pn/k)
+	}
+	return out, nil
+}
+
+// Summaries renders the Fig 5 comparison: mean/std per axis per group.
+func (d UtilizationDistributions) Summaries() [][]string {
+	rows := [][]string{{"group", "axis", "mean", "std", "p25", "p50"}}
+	addRow := func(group, axis string, xs []float64) {
+		s := metrics.Summarize(xs)
+		rows = append(rows, []string{group, axis,
+			metrics.F2(s.Mean), metrics.F2(s.Std), metrics.F2(s.P25), metrics.F2(s.P50)})
+	}
+	addRow("trainer", "cpu", d.TrainerCPU)
+	addRow("trainer", "membw", d.TrainerMem)
+	addRow("trainer", "network", d.TrainerNet)
+	addRow("paramsrv", "cpu", d.PSCPU)
+	addRow("paramsrv", "membw", d.PSMem)
+	addRow("paramsrv", "network", d.PSNet)
+	return rows
+}
+
+// ServerCountStudy drives Fig 9: sample a month's worth of training runs
+// and histogram their trainer/parameter-server counts.
+func ServerCountStudy(runs int, seed int64) (trainerHist, psHist *metrics.Histogram, p95Trainers float64) {
+	sampler := workload.NewFleetSampler(seed)
+	trainerHist = metrics.NewHistogram(0, 55, 11)
+	psHist = metrics.NewHistogram(0, 55, 11)
+	var trainerCounts []float64
+	for i := 0; i < runs; i++ {
+		s := sampler.Sample()
+		trainerHist.Add(float64(s.Trainers))
+		psHist.Add(float64(s.ParamSrv))
+		trainerCounts = append(trainerCounts, float64(s.Trainers))
+	}
+	p95Trainers = metrics.Summarize(trainerCounts).Quantile(0.95)
+	return trainerHist, psHist, p95Trainers
+}

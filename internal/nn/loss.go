@@ -1,0 +1,122 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BCEWithLogits computes the mean binary cross-entropy between logits and
+// {0,1} labels, and the gradient w.r.t. the logits written into grad
+// (grad[i] = (sigmoid(logit_i) - label_i) / B). grad may be nil if only
+// the loss value is needed.
+func BCEWithLogits(logits, labels, grad []float32) float64 {
+	if len(logits) != len(labels) {
+		panic("nn: logits and labels length mismatch")
+	}
+	n := len(logits)
+	if n == 0 {
+		return 0
+	}
+	var loss float64
+	invN := 1.0 / float64(n)
+	for i, z := range logits {
+		y := float64(labels[i])
+		zf := float64(z)
+		// Numerically stable: max(z,0) - z*y + log(1+exp(-|z|))
+		m := zf
+		if m < 0 {
+			m = 0
+		}
+		loss += m - zf*y + math.Log1p(math.Exp(-math.Abs(zf)))
+		if grad != nil {
+			grad[i] = float32((1.0/(1.0+math.Exp(-zf)) - y) * invN)
+		}
+	}
+	return loss * invN
+}
+
+// LogLoss computes the mean binary cross-entropy of probability
+// predictions against {0,1} labels, clamping predictions away from 0/1.
+func LogLoss(preds, labels []float32) float64 {
+	if len(preds) != len(labels) {
+		panic("nn: preds and labels length mismatch")
+	}
+	if len(preds) == 0 {
+		return 0
+	}
+	const eps = 1e-7
+	var loss float64
+	for i, p := range preds {
+		pf := math.Min(math.Max(float64(p), eps), 1-eps)
+		if labels[i] > 0.5 {
+			loss -= math.Log(pf)
+		} else {
+			loss -= math.Log(1 - pf)
+		}
+	}
+	return loss / float64(len(preds))
+}
+
+// NormalizedEntropy is the paper's model-quality metric (§VI-C): the mean
+// log loss divided by the entropy of the empirical base click-through
+// rate. NE = 1 means the model is no better than always predicting the
+// base rate; lower is better.
+func NormalizedEntropy(preds, labels []float32) float64 {
+	if len(labels) == 0 {
+		return math.NaN()
+	}
+	var pos float64
+	for _, y := range labels {
+		if y > 0.5 {
+			pos++
+		}
+	}
+	p := pos / float64(len(labels))
+	if p <= 0 || p >= 1 {
+		return math.NaN()
+	}
+	baseEntropy := -(p*math.Log(p) + (1-p)*math.Log(1-p))
+	return LogLoss(preds, labels) / baseEntropy
+}
+
+// Accuracy returns the fraction of predictions on the correct side of the
+// threshold.
+func Accuracy(preds, labels []float32, threshold float32) float64 {
+	if len(preds) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, p := range preds {
+		pred1 := p >= threshold
+		lab1 := labels[i] >= 0.5
+		if pred1 == lab1 {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(preds))
+}
+
+// SigmoidVec applies the logistic function to each logit, writing into dst
+// (which may alias logits).
+func SigmoidVec(dst, logits []float32) {
+	for i, z := range logits {
+		dst[i] = tensor.Sigmoid(z)
+	}
+}
+
+// NumericalGradient estimates d f / d x[i] for each i via central
+// differences. Used by tests to validate analytic backprop.
+func NumericalGradient(f func() float64, x []float32, eps float32) []float32 {
+	g := make([]float32, len(x))
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + eps
+		fp := f()
+		x[i] = orig - eps
+		fm := f()
+		x[i] = orig
+		g[i] = float32((fp - fm) / (2 * float64(eps)))
+	}
+	return g
+}

@@ -1,0 +1,147 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestBCEWithLogitsKnownValues(t *testing.T) {
+	// logit 0 => p=0.5 => loss = ln 2 regardless of label.
+	loss := BCEWithLogits([]float32{0}, []float32{1}, nil)
+	if math.Abs(loss-math.Ln2) > 1e-6 {
+		t.Errorf("BCE(0,1) = %v, want ln2", loss)
+	}
+	loss = BCEWithLogits([]float32{0}, []float32{0}, nil)
+	if math.Abs(loss-math.Ln2) > 1e-6 {
+		t.Errorf("BCE(0,0) = %v, want ln2", loss)
+	}
+	// Very confident correct prediction => near-zero loss.
+	loss = BCEWithLogits([]float32{20}, []float32{1}, nil)
+	if loss > 1e-6 {
+		t.Errorf("BCE(20,1) = %v, want ~0", loss)
+	}
+	// Very confident wrong prediction => ~|logit| loss.
+	loss = BCEWithLogits([]float32{20}, []float32{0}, nil)
+	if math.Abs(loss-20) > 0.01 {
+		t.Errorf("BCE(20,0) = %v, want ~20", loss)
+	}
+}
+
+func TestBCEGradientMatchesNumeric(t *testing.T) {
+	logits := []float32{0.5, -1.2, 2.0, 0.0}
+	labels := []float32{1, 0, 0, 1}
+	grad := make([]float32, 4)
+	BCEWithLogits(logits, labels, grad)
+	numer := NumericalGradient(func() float64 {
+		return BCEWithLogits(logits, labels, nil)
+	}, logits, 1e-3)
+	for i := range grad {
+		if math.Abs(float64(grad[i]-numer[i])) > 1e-3 {
+			t.Errorf("grad[%d] = %v, numeric %v", i, grad[i], numer[i])
+		}
+	}
+}
+
+func TestBCEStabilityExtremeLogits(t *testing.T) {
+	f := func(z float32) bool {
+		if math.IsNaN(float64(z)) || math.IsInf(float64(z), 0) {
+			return true
+		}
+		loss := BCEWithLogits([]float32{z}, []float32{1}, nil)
+		return !math.IsNaN(loss) && !math.IsInf(loss, 0) && loss >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBCEPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BCEWithLogits([]float32{1}, []float32{1, 2}, nil)
+}
+
+func TestLogLossMatchesBCE(t *testing.T) {
+	rng := xrand.New(1)
+	n := 100
+	logits := make([]float32, n)
+	labels := make([]float32, n)
+	preds := make([]float32, n)
+	for i := 0; i < n; i++ {
+		logits[i] = float32(rng.NormMS(0, 2))
+		if rng.Float64() < 0.5 {
+			labels[i] = 1
+		}
+	}
+	SigmoidVec(preds, logits)
+	a := BCEWithLogits(logits, labels, nil)
+	b := LogLoss(preds, labels)
+	if math.Abs(a-b) > 1e-4 {
+		t.Errorf("BCEWithLogits %v vs LogLoss %v", a, b)
+	}
+}
+
+func TestNormalizedEntropyBaseline(t *testing.T) {
+	// Predicting exactly the base rate gives NE = 1.
+	labels := make([]float32, 1000)
+	for i := 0; i < 300; i++ {
+		labels[i] = 1
+	}
+	preds := make([]float32, 1000)
+	for i := range preds {
+		preds[i] = 0.3
+	}
+	ne := NormalizedEntropy(preds, labels)
+	if math.Abs(ne-1) > 1e-6 {
+		t.Errorf("NE at base rate = %v, want 1", ne)
+	}
+	// A better-than-base model has NE < 1.
+	better := make([]float32, 1000)
+	for i := range better {
+		if labels[i] > 0.5 {
+			better[i] = 0.8
+		} else {
+			better[i] = 0.1
+		}
+	}
+	if ne := NormalizedEntropy(better, labels); ne >= 1 {
+		t.Errorf("informative predictions should give NE < 1, got %v", ne)
+	}
+}
+
+func TestNormalizedEntropyDegenerate(t *testing.T) {
+	// All-positive labels: base entropy is 0, NE undefined.
+	labels := []float32{1, 1, 1}
+	preds := []float32{0.5, 0.5, 0.5}
+	if ne := NormalizedEntropy(preds, labels); !math.IsNaN(ne) {
+		t.Errorf("NE with degenerate labels = %v, want NaN", ne)
+	}
+	if ne := NormalizedEntropy(nil, nil); !math.IsNaN(ne) {
+		t.Errorf("NE of empty = %v, want NaN", ne)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	preds := []float32{0.9, 0.2, 0.6, 0.4}
+	labels := []float32{1, 0, 0, 1}
+	if acc := Accuracy(preds, labels, 0.5); acc != 0.5 {
+		t.Errorf("Accuracy = %v, want 0.5", acc)
+	}
+	if acc := Accuracy(nil, nil, 0.5); acc != 0 {
+		t.Errorf("Accuracy(empty) = %v, want 0", acc)
+	}
+}
+
+func TestLogLossClamping(t *testing.T) {
+	// Exact 0/1 predictions must not produce Inf.
+	loss := LogLoss([]float32{0, 1}, []float32{1, 0})
+	if math.IsInf(loss, 0) || math.IsNaN(loss) {
+		t.Errorf("LogLoss with extreme preds = %v", loss)
+	}
+}

@@ -1,0 +1,140 @@
+// Package perfmodel estimates per-iteration training time and throughput
+// for a DLRM configuration on a hardware platform with a given embedding
+// placement — the quantity every throughput figure of the paper (Fig 1,
+// 10, 11, 12, 13, 14 and Table III) reports.
+//
+// The model is a roofline-style composition of operator costs:
+//
+//   - MLP compute on the GEMM roofline of the executing device,
+//     with a batch-dependent efficiency ramp (small per-device batches
+//     underutilize wide vector units / SMs);
+//   - embedding lookups and updates as random-access memory traffic on
+//     the owning memory's bandwidth, derated for irregular access;
+//   - pooled-embedding exchange (all-to-all) over NVLink, PCIe-via-host,
+//     or the network, depending on the placement;
+//   - dense-gradient all-reduce across data-parallel replicas;
+//   - fixed per-iteration host overhead plus per-kernel launch costs
+//     (the CUDA API overhead §V-B attributes large-batch gains to);
+//   - for the distributed CPU baseline, asynchronous (Hogwild/EASGD)
+//     stage pipelining: throughput is set by the slowest of the
+//     per-trainer compute, network, and parameter-server service times.
+//
+// All achievable-fraction constants live in Calibration and are
+// documented inline; hardware peaks come from the hw package.
+package perfmodel
+
+// Calibration gathers every achievable-fraction and overhead constant in
+// one place so the model can be tuned centrally and ablated.
+type Calibration struct {
+	// GPUGemmEff is the fraction of GPU peak FLOPs large GEMMs reach.
+	GPUGemmEff float64
+	// CPUGemmEff is the fraction of CPU peak FLOPs MKL-class GEMMs
+	// reach under a full Hogwild thread complement.
+	CPUGemmEff float64
+	// BatchEffHalf is the per-device batch at which GEMM efficiency
+	// reaches half its asymptote (efficiency ramp b/(b+half)).
+	BatchEffHalf float64
+	// GPURandEff / CPURandEff derate HBM / DRAM bandwidth for random
+	// embedding-row gathers and scatters.
+	GPURandEff float64
+	CPURandEff float64
+	// NVLinkEff, PCIeEff, NetEff are protocol efficiencies on the
+	// respective links.
+	NVLinkEff float64
+	PCIeEff   float64
+	NetEff    float64
+	// AllToAllSpread penalizes all-to-all exchanges as more
+	// embedding-holding GPUs participate (cube-mesh relaying and
+	// extra message overhead): cost multiplier 1 + spread*(g_emb-1).
+	AllToAllSpread float64
+	// KernelLaunchSec is the host-side cost of one kernel dispatch.
+	KernelLaunchSec float64
+	// GPUFixedSec is the per-iteration host overhead of a GPU
+	// iteration (framework dispatch, synchronization).
+	GPUFixedSec float64
+	// CPUFixedSec is the per-iteration framework overhead of a CPU
+	// trainer iteration.
+	CPUFixedSec float64
+	// HogwildEff is the scaling efficiency of intra-trainer Hogwild
+	// threads.
+	HogwildEff float64
+	// CacheBatch is the CPU batch size at which cache pressure starts
+	// to bite (compute multiplier 1 + b/CacheBatch).
+	CacheBatch float64
+	// HostCopyBWPerSocket is the effective bytes/s one socket
+	// contributes to RPC serialization and request handling on a
+	// trainer host exchanging embeddings with remote servers.
+	HostCopyBWPerSocket float64
+	// HostStageBWPerSocket is the effective bytes/s one socket
+	// contributes to DMA staging (pinned-buffer copies between NIC,
+	// DRAM, and PCIe) on a GPU host.
+	HostStageBWPerSocket float64
+	// EASGDPeriodIters is how many iterations pass between elastic
+	// synchronizations with the dense parameter server.
+	EASGDPeriodIters float64
+	// EmbedFwdBwdFactor scales embedding traffic for the full
+	// forward + backward + optimizer-state pass (read, scatter
+	// read-modify-write, momentum/Adagrad state).
+	EmbedFwdBwdFactor float64
+	// CacheSlope degrades GPU random-access efficiency as the per-GPU
+	// embedding footprint outgrows on-chip caches/TLB reach:
+	// eff = base / (1 + slope·log10(bytes/CacheRefBytes)) for
+	// footprints above CacheRefBytes. The paper observes CPU lookup
+	// time is hash-size insensitive (§V-C), so no CPU equivalent.
+	CacheSlope float64
+	// CacheRefBytes is the footprint at which GPU lookup efficiency
+	// starts degrading.
+	CacheRefBytes float64
+	// PSHandleBWPerNode is the effective bytes/s one parameter server
+	// sustains through its RPC stack (serialization, request handling)
+	// — in production this, not DRAM, is the sparse-PS bottleneck.
+	PSHandleBWPerNode float64
+	// RemoteRTTSec is the effective per-table round-trip latency a
+	// synchronous GPU trainer pays when embeddings live on remote
+	// parameter servers (§VI-B: "lookup latency ... becomes a
+	// bottleneck"). Asynchronous CPU trainers hide it with Hogwild
+	// threads.
+	RemoteRTTSec float64
+	// PSDRAMEff derates a parameter server's DRAM bandwidth for
+	// serving scattered per-request embedding reads and gradient
+	// scatters under locking — much lower than CPURandEff, which
+	// covers bulk local gathers by the training process itself.
+	PSDRAMEff float64
+	// HostBounceFactor multiplies the cost of GPU-GPU exchanges that
+	// must bounce through host memory when no GPU fabric exists (the
+	// Zion prototype): serialization, extra copies, and no overlap.
+	HostBounceFactor float64
+}
+
+// DefaultCalibration returns the constants used throughout the
+// experiments. They were fixed once against the paper's headline ratios
+// (Fig 10's GPU/CPU band of ~1.9-5.6x, Table III's 2.25/0.85/0.67x) and
+// are not tuned per-figure.
+func DefaultCalibration() Calibration {
+	return Calibration{
+		GPUGemmEff:           0.75,
+		CPUGemmEff:           0.535,
+		BatchEffHalf:         35.3,
+		GPURandEff:           0.70,
+		CPURandEff:           0.42,
+		NVLinkEff:            0.70,
+		PCIeEff:              0.75,
+		NetEff:               0.70,
+		AllToAllSpread:       0.51,
+		KernelLaunchSec:      2e-5,
+		GPUFixedSec:          2e-4,
+		CPUFixedSec:          1.2e-4,
+		HogwildEff:           0.90,
+		CacheBatch:           3000,
+		HostCopyBWPerSocket:  4.72e9,
+		HostStageBWPerSocket: 7.36e9,
+		EASGDPeriodIters:     43.6,
+		EmbedFwdBwdFactor:    3.0,
+		CacheSlope:           0.0071,
+		CacheRefBytes:        64e6,
+		PSHandleBWPerNode:    2.44e9,
+		RemoteRTTSec:         1e-4,
+		PSDRAMEff:            0.060,
+		HostBounceFactor:     1.43,
+	}
+}

@@ -1,0 +1,311 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/placement"
+	"repro/internal/workload"
+)
+
+func gpuThroughput(t *testing.T, cfg core.Config, p hw.Platform, batch int, strat placement.Strategy, remotePS int) Breakdown {
+	t.Helper()
+	plan, err := placement.Fit(cfg, p, strat, remotePS)
+	if err != nil {
+		t.Fatalf("placement %v on %s: %v", strat, p.Name, err)
+	}
+	bd, err := Estimate(Scenario{Cfg: cfg, Platform: p, Batch: batch, Plan: plan})
+	if err != nil {
+		t.Fatalf("estimate: %v", err)
+	}
+	return bd
+}
+
+func cpuThroughput(t *testing.T, cfg core.Config, batch, trainers, sparsePS, densePS int) Breakdown {
+	t.Helper()
+	bd, err := Estimate(Scenario{Cfg: cfg, Platform: hw.DualSocketCPU(), Batch: batch,
+		NumTrainers: trainers, NumSparsePS: sparsePS, NumDensePS: densePS})
+	if err != nil {
+		t.Fatalf("estimate cpu: %v", err)
+	}
+	return bd
+}
+
+func TestEstimateValidation(t *testing.T) {
+	cfg := workload.DefaultTestSuite(64, 4)
+	if _, err := Estimate(Scenario{Cfg: cfg, Platform: hw.BigBasin(), Batch: 0}); err == nil {
+		t.Error("zero batch accepted")
+	}
+	bad := cfg
+	bad.Sparse = nil
+	if _, err := Estimate(Scenario{Cfg: bad, Platform: hw.BigBasin(), Batch: 100}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestBreakdownConsistency(t *testing.T) {
+	cfg := workload.DefaultTestSuite(1024, 16)
+	bd := gpuThroughput(t, cfg, hw.BigBasin(), 1600, placement.GPUMemory, 0)
+	sum := bd.Compute + bd.EmbLookup + bd.Comm + bd.AllReduce + bd.Net + bd.Host + bd.Launch
+	if math.Abs(sum-bd.IterTime)/bd.IterTime > 1e-9 {
+		t.Errorf("components %v do not sum to IterTime %v", sum, bd.IterTime)
+	}
+	if math.Abs(bd.Throughput-1600/bd.IterTime) > 1e-6*bd.Throughput {
+		t.Error("throughput != batch/iterTime")
+	}
+	if bd.PowerUnits != 7.3 {
+		t.Errorf("BigBasin-only setup power = %v", bd.PowerUnits)
+	}
+	if bd.Bottleneck == "" {
+		t.Error("bottleneck not named")
+	}
+}
+
+func TestCPUClusterPowerAccounting(t *testing.T) {
+	cfg := workload.DefaultTestSuite(256, 16)
+	bd := cpuThroughput(t, cfg, 200, 6, 7, 1)
+	if bd.PowerUnits != 14 {
+		t.Errorf("6 trainers + 8 PS should be 14 power units, got %v", bd.PowerUnits)
+	}
+	rem := gpuThroughput(t, workload.M3Prod(), hw.BigBasin(), 800, placement.RemoteCPU, 8)
+	if rem.PowerUnits != 7.3+8 {
+		t.Errorf("BigBasin + 8 PS power = %v", rem.PowerUnits)
+	}
+}
+
+// TestFig10Properties pins the qualitative Fig 10 findings: the GPU wins
+// everywhere, and its advantage grows with dense features while power
+// efficiency favors the CPU for the smallest dense models.
+func TestFig10Properties(t *testing.T) {
+	ratio := func(d, s int) float64 {
+		cfg := workload.DefaultTestSuite(d, s)
+		g := gpuThroughput(t, cfg, hw.BigBasin(), 1600, placement.GPUMemory, 0)
+		c := cpuThroughput(t, cfg, 200, 1, 1, 1)
+		return g.Throughput / c.Throughput
+	}
+	for _, d := range workload.SweepDense {
+		for _, s := range workload.SweepSparse {
+			r := ratio(d, s)
+			if r <= 1 {
+				t.Errorf("(%d,%d): GPU must beat CPU on throughput, ratio %v", d, s, r)
+			}
+			if r > 8 {
+				t.Errorf("(%d,%d): ratio %v far outside the paper's 1.9-5.6 band", d, s, r)
+			}
+		}
+	}
+	// Dense trend for the low-sparse columns (paper: 1.92 -> 4.5).
+	if ratio(4096, 4) <= ratio(64, 4) {
+		t.Error("GPU advantage must grow with dense features (sparse=4)")
+	}
+	if ratio(4096, 16) <= ratio(64, 16) {
+		t.Error("GPU advantage must grow with dense features (sparse=16)")
+	}
+	// Power efficiency: CPU wins at (64,4) (paper cell 0.79 < 1),
+	// GPU wins at (4096,16) (paper cell 2.24 > 1).
+	div := PaperTargets.Fig10PowerDivisor
+	if pe := ratio(64, 4) / div; pe >= 1.8 {
+		t.Errorf("(64,4) power-efficiency ratio %v; paper has CPU competitive (0.79)", pe)
+	}
+	if pe := ratio(4096, 16) / div; pe <= 1 {
+		t.Errorf("(4096,16) power-efficiency ratio %v; paper has GPU ahead (2.24)", pe)
+	}
+}
+
+// TestTableIIIProperties pins the headline case study: M1 ports to GPU
+// profitably, M2 roughly breaks even, M3 loses on throughput.
+func TestTableIIIProperties(t *testing.T) {
+	m1 := workload.M1Prod()
+	m2 := workload.M2Prod()
+	m3 := workload.M3Prod()
+	s1, _ := workload.ProdSetup("M1prod")
+	s2, _ := workload.ProdSetup("M2prod")
+	s3, _ := workload.ProdSetup("M3prod")
+
+	r1 := gpuThroughput(t, m1, hw.BigBasin(), s1.OptimalGPUBatch, placement.GPUMemory, 0).Throughput /
+		cpuThroughput(t, m1, s1.TrainerBatch, s1.Trainers, s1.SparsePS, s1.DensePS).Throughput
+	r2 := gpuThroughput(t, m2, hw.BigBasin(), s2.OptimalGPUBatch, placement.GPUMemory, 0).Throughput /
+		cpuThroughput(t, m2, s2.TrainerBatch, s2.Trainers, s2.SparsePS, s2.DensePS).Throughput
+	r3 := gpuThroughput(t, m3, hw.BigBasin(), s3.OptimalGPUBatch, placement.RemoteCPU, 8).Throughput /
+		cpuThroughput(t, m3, s3.TrainerBatch, s3.Trainers, s3.SparsePS, s3.DensePS).Throughput
+
+	if r1 <= 1.0 {
+		t.Errorf("M1prod GPU/CPU = %v; paper reports 2.25x (must exceed 1)", r1)
+	}
+	if r2 < 0.5 || r2 > 1.3 {
+		t.Errorf("M2prod GPU/CPU = %v; paper reports 0.85x (rough parity)", r2)
+	}
+	if r3 >= 1.0 {
+		t.Errorf("M3prod GPU/CPU = %v; paper reports 0.67x (CPU wins)", r3)
+	}
+	if !(r1 > r2 && r2 > r3) {
+		t.Errorf("ordering must be M1 > M2 > M3, got %v %v %v", r1, r2, r3)
+	}
+}
+
+// TestFig14Orderings pins the placement preferences of Fig 14.
+func TestFig14Orderings(t *testing.T) {
+	m2 := workload.M2Prod()
+	batch := 3200
+	bbGPU := gpuThroughput(t, m2, hw.BigBasin(), batch, placement.GPUMemory, 0).Throughput
+	bbSys := gpuThroughput(t, m2, hw.BigBasin(), batch, placement.SystemMemory, 0).Throughput
+	bbRem := gpuThroughput(t, m2, hw.BigBasin(), batch, placement.RemoteCPU, 8).Throughput
+	zGPU := gpuThroughput(t, m2, hw.Zion(), batch, placement.GPUMemory, 0).Throughput
+	zSys := gpuThroughput(t, m2, hw.Zion(), batch, placement.SystemMemory, 0).Throughput
+	zRem := gpuThroughput(t, m2, hw.Zion(), batch, placement.RemoteCPU, 8).Throughput
+
+	// Big Basin: GPU memory wins decisively; system memory beats remote.
+	if !(bbGPU > bbSys && bbSys > bbRem) {
+		t.Errorf("BigBasin ordering GPU(%v) > Sys(%v) > Remote(%v) violated", bbGPU, bbSys, bbRem)
+	}
+	if bbGPU/bbSys < 1.5 {
+		t.Errorf("paper: BB GPU placement ~4x over system memory; got %v", bbGPU/bbSys)
+	}
+	// Zion: system memory wins (no GPU fabric); GPU placement loses to it.
+	if !(zSys > zGPU && zSys > zRem) {
+		t.Errorf("Zion ordering Sys(%v) best violated (GPU %v, Remote %v)", zSys, zGPU, zRem)
+	}
+	// Zion's GPU placement must be much worse than Big Basin's.
+	if zGPU >= bbGPU {
+		t.Errorf("Zion GPU placement (%v) must trail Big Basin's (%v): no NVLink", zGPU, bbGPU)
+	}
+	// Remote is roughly platform-insensitive (slightly better on Zion).
+	if zRem < bbRem {
+		t.Errorf("Zion remote (%v) should be >= Big Basin remote (%v)", zRem, bbRem)
+	}
+}
+
+// TestFig12Properties pins hash-size scaling: GPU throughput declines
+// with hash size; CPU stays flat.
+func TestFig12Properties(t *testing.T) {
+	var gpuPrev, cpuFirst, cpuLast float64
+	for i, h := range workload.SweepHash {
+		cfg := workload.TestSuiteConfig(1024, 16, 512, 3, h)
+		g := gpuThroughput(t, cfg, hw.BigBasin(), 1600, placement.GPUMemory, 0).Throughput
+		c := cpuThroughput(t, cfg, 200, 1, 1, 1).Throughput
+		if i == 0 {
+			cpuFirst = c
+		}
+		cpuLast = c
+		if i > 0 && g > gpuPrev*1.02 {
+			t.Errorf("hash %d: GPU throughput rose (%v -> %v); must be non-increasing", h, gpuPrev, g)
+		}
+		gpuPrev = g
+	}
+	first := gpuThroughput(t, workload.TestSuiteConfig(1024, 16, 512, 3, workload.SweepHash[0]),
+		hw.BigBasin(), 1600, placement.GPUMemory, 0).Throughput
+	if first/gpuPrev < 1.3 {
+		t.Errorf("GPU decline across hash sweep = %v, want noticeable (>1.3x)", first/gpuPrev)
+	}
+	if cpuFirst/cpuLast > 1.2 || cpuLast/cpuFirst > 1.2 {
+		t.Errorf("CPU must be ~flat across hash sizes: %v vs %v", cpuFirst, cpuLast)
+	}
+}
+
+// TestFig11Properties pins batch scaling: GPU throughput grows strongly
+// with batch; CPU changes mildly.
+func TestFig11Properties(t *testing.T) {
+	cfg := workload.DefaultTestSuite(1024, 16)
+	g400 := gpuThroughput(t, cfg, hw.BigBasin(), 400, placement.GPUMemory, 0).Throughput
+	g3200 := gpuThroughput(t, cfg, hw.BigBasin(), 3200, placement.GPUMemory, 0).Throughput
+	if g3200/g400 < 1.5 {
+		t.Errorf("GPU batch scaling %v too weak", g3200/g400)
+	}
+	// Diminishing returns: the second doubling gains less than the first.
+	g800 := gpuThroughput(t, cfg, hw.BigBasin(), 800, placement.GPUMemory, 0).Throughput
+	g1600 := gpuThroughput(t, cfg, hw.BigBasin(), 1600, placement.GPUMemory, 0).Throughput
+	if (g1600 / g800) > (g800 / g400) {
+		t.Error("GPU batch scaling should saturate, not accelerate")
+	}
+	c100 := cpuThroughput(t, cfg, 100, 1, 1, 1).Throughput
+	c400 := cpuThroughput(t, cfg, 400, 1, 1, 1).Throughput
+	if c400/c100 > 2.5 || c100/c400 > 2.0 {
+		t.Errorf("CPU batch sensitivity out of range: %v vs %v", c100, c400)
+	}
+}
+
+// TestFig13Properties pins MLP-dimension scaling: CPU throughput falls
+// faster than GPU as MLPs grow (§V-D).
+func TestFig13Properties(t *testing.T) {
+	small := workload.TestSuiteConfig(1024, 64, 64, 2, workload.TestSuiteHashSize)
+	big := workload.TestSuiteConfig(1024, 64, 1024, 4, workload.TestSuiteHashSize)
+	gSmall := gpuThroughput(t, small, hw.BigBasin(), 1600, placement.GPUMemory, 0).Throughput
+	gBig := gpuThroughput(t, big, hw.BigBasin(), 1600, placement.GPUMemory, 0).Throughput
+	cSmall := cpuThroughput(t, small, 200, 1, 1, 1).Throughput
+	cBig := cpuThroughput(t, big, 200, 1, 1, 1).Throughput
+	cpuDrop := cSmall / cBig
+	gpuDrop := gSmall / gBig
+	if cpuDrop <= gpuDrop {
+		t.Errorf("CPU drop (%v) must exceed GPU drop (%v) as MLPs grow", cpuDrop, gpuDrop)
+	}
+}
+
+func TestBestPlacementPicksPaperChoices(t *testing.T) {
+	cal := DefaultCalibration()
+	// M1/M2: GPU memory on Big Basin (§VI-A).
+	for _, cfg := range []core.Config{workload.M1Prod(), workload.M2Prod()} {
+		plan, _, err := BestPlacement(cfg, hw.BigBasin(), 1600, cal)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if plan.Strategy != placement.GPUMemory && plan.Strategy != placement.Hybrid {
+			t.Errorf("%s on BigBasin: best = %v, paper used GPUMemory", cfg.Name, plan.Strategy)
+		}
+	}
+	// M2 on Zion: system memory (Fig 14).
+	plan, _, err := BestPlacement(workload.M2Prod(), hw.Zion(), 3200, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Strategy != placement.SystemMemory {
+		t.Errorf("M2prod on Zion: best = %v, paper shows SystemMemory", plan.Strategy)
+	}
+}
+
+func TestSaturationBatch(t *testing.T) {
+	cfg := workload.DefaultTestSuite(1024, 16)
+	plan, err := placement.Fit(cfg, hw.BigBasin(), placement.GPUMemory, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Scenario{Cfg: cfg, Platform: hw.BigBasin(), Plan: plan}
+	b, err := SaturationBatch(base, []int{100, 200, 400, 800, 1600, 3200, 6400, 12800}, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b < 400 || b > 12800 {
+		t.Errorf("saturation batch = %d, expected within sweep", b)
+	}
+	if _, err := SaturationBatch(base, nil, 0.9); err == nil {
+		t.Error("empty candidates must error")
+	}
+}
+
+func TestGPURandEffMonotone(t *testing.T) {
+	cal := DefaultCalibration()
+	prev := math.Inf(1)
+	for _, bytes := range []float64{1e6, 1e8, 1e9, 1e10, 1e11} {
+		e := gpuRandEff(cal, bytes)
+		if e > prev {
+			t.Errorf("gpuRandEff must be non-increasing in footprint")
+		}
+		if e <= 0 || e > cal.GPURandEff {
+			t.Errorf("gpuRandEff(%v) = %v out of range", bytes, e)
+		}
+		prev = e
+	}
+}
+
+func TestZionSystemMemoryBeatsBigBasinSystemMemory(t *testing.T) {
+	// §VI-B: Zion's 1 TB/s host memory makes system-memory placement
+	// ~4x faster than Big Basin's.
+	m2 := workload.M2Prod()
+	bb := gpuThroughput(t, m2, hw.BigBasin(), 3200, placement.SystemMemory, 0)
+	z := gpuThroughput(t, m2, hw.Zion(), 3200, placement.SystemMemory, 0)
+	if z.Throughput/bb.Throughput < 1.5 {
+		t.Errorf("Zion/BB system-memory ratio %v, want >1.5 (paper ~3.6x)",
+			z.Throughput/bb.Throughput)
+	}
+}

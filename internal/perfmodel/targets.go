@@ -1,0 +1,51 @@
+package perfmodel
+
+// PaperTargets records the quantitative anchors the paper reports, used
+// both by the one-time calibration fit (cmd/calibrate) and by
+// EXPERIMENTS.md's paper-vs-measured accounting. Indices follow the
+// paper's figure axes.
+var PaperTargets = struct {
+	// Fig10Ratio[denseIdx][sparseIdx] is the GPU/CPU throughput ratio
+	// for dense {64,256,1024,4096} × sparse {4,16,64,128}.
+	Fig10Ratio [4][4]float64
+	// Fig10PowerDivisor converts a Fig 10 throughput ratio into the
+	// power-efficiency ratio: BigBasin (7.3 units) vs the 3-node CPU
+	// setup (trainer + dense PS + sparse PS).
+	Fig10PowerDivisor float64
+	// TableIIIThroughput / TableIIIPowerEff are the M1/M2/M3 GPU-vs-
+	// CPU-setup ratios of Table III.
+	TableIIIThroughput [3]float64
+	TableIIIPowerEff   [3]float64
+	// TableIIIOptBatch is the per-GPU saturation batch of Table III.
+	TableIIIOptBatch [3]int
+	// Fig14BigBasin / Fig14Zion are normalized M2prod throughputs for
+	// placements {GPUMemory, SystemMemory, RemoteCPU}, read from the
+	// figure with Big Basin RemoteCPU ≈ 1.
+	Fig14BigBasin [3]float64
+	Fig14Zion     [3]float64
+	// Fig12GPUDecline is the throughput ratio between hash 1e5 and
+	// hash 2.56e7 on GPU for a mid-size config; CPU is ~flat.
+	Fig12GPUDecline float64
+	Fig12CPUDecline float64
+	// Fig11GPUScaling is the throughput gain from batch 400 to 3200
+	// on GPU; Fig11CPUScaling from 100 to 400 on CPU.
+	Fig11GPUScaling float64
+	Fig11CPUScaling float64
+}{
+	Fig10Ratio: [4][4]float64{
+		{1.92, 2.42, 3.58, 2.53},
+		{3.50, 3.42, 3.50, 3.06},
+		{4.38, 5.62, 3.53, 3.03},
+		{4.50, 5.45, 3.64, 4.44},
+	},
+	Fig10PowerDivisor:  7.3 / 3.0,
+	TableIIIThroughput: [3]float64{2.25, 0.85, 0.67},
+	TableIIIPowerEff:   [3]float64{4.3, 2.8, 0.43},
+	TableIIIOptBatch:   [3]int{1600, 3200, 800},
+	Fig14BigBasin:      [3]float64{4.7, 1.2, 1.0},
+	Fig14Zion:          [3]float64{2.0, 4.3, 1.2},
+	Fig12GPUDecline:    4.0,
+	Fig12CPUDecline:    1.1,
+	Fig11GPUScaling:    3.0,
+	Fig11CPUScaling:    1.5,
+}

@@ -1,0 +1,167 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func quickConfig(seed int64) Config {
+	return Config{
+		Model:      workload.DefaultTestSuite(256, 16),
+		Batch:      200,
+		Trainers:   4,
+		SparsePS:   2,
+		DensePS:    1,
+		Iterations: 100,
+		Seed:       seed,
+	}
+}
+
+func TestRunProducesThroughput(t *testing.T) {
+	res, err := Run(quickConfig(1))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Throughput <= 0 || res.SimTime <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	wantExamples := int64(4 * 100 * 200)
+	if res.Examples != wantExamples {
+		t.Errorf("Examples = %d, want %d", res.Examples, wantExamples)
+	}
+	if len(res.Trainers) != 4 || len(res.SparsePS) != 2 {
+		t.Fatalf("server counts: %d trainers, %d PS", len(res.Trainers), len(res.SparsePS))
+	}
+}
+
+func TestUtilizationsInRange(t *testing.T) {
+	res, err := Run(quickConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, u float64) {
+		if u < 0 || u > 1 {
+			t.Errorf("%s utilization %v out of [0,1]", name, u)
+		}
+	}
+	for _, s := range res.Trainers {
+		check("trainer cpu", s.CPU)
+		check("trainer mem", s.MemBW)
+		check("trainer net", s.Net)
+	}
+	for _, s := range res.SparsePS {
+		check("ps cpu", s.CPU)
+		check("ps mem", s.MemBW)
+		check("ps net", s.Net)
+	}
+	for _, u := range res.Readers {
+		check("reader", u)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a, err := Run(quickConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(quickConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SimTime != b.SimTime || a.Throughput != b.Throughput {
+		t.Error("same seed must reproduce the run exactly")
+	}
+	c, err := Run(quickConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SimTime == a.SimTime {
+		t.Error("different seeds should differ (jitter)")
+	}
+}
+
+// TestFig5Property reproduces Fig 5's qualitative claim on a single run:
+// trainer servers run hot with modest variation, parameter servers sit at
+// lower mean utilization.
+func TestFig5Property(t *testing.T) {
+	cfg := quickConfig(5)
+	cfg.Trainers = 8
+	cfg.SparsePS = 8
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tCPU, pCPU []float64
+	for _, s := range res.Trainers {
+		tCPU = append(tCPU, s.CPU)
+	}
+	for _, s := range res.SparsePS {
+		pCPU = append(pCPU, s.CPU)
+	}
+	tSum := metrics.Summarize(tCPU)
+	pSum := metrics.Summarize(pCPU)
+	if tSum.Mean <= pSum.Mean {
+		t.Errorf("trainer CPU mean %v should exceed PS CPU mean %v", tSum.Mean, pSum.Mean)
+	}
+	if tSum.Mean < 0.3 {
+		t.Errorf("trainer servers should be busy; mean util %v", tSum.Mean)
+	}
+}
+
+func TestMoreTrainersRaisePSLoad(t *testing.T) {
+	small := quickConfig(6)
+	small.Trainers = 2
+	big := quickConfig(6)
+	big.Trainers = 8
+	rs, err := Run(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanPS := func(ss []ServerUtil) float64 {
+		var sum float64
+		for _, s := range ss {
+			sum += s.CPU
+		}
+		return sum / float64(len(ss))
+	}
+	if meanPS(rb.SparsePS) <= meanPS(rs.SparsePS) {
+		t.Errorf("PS load must rise with trainer count: %v vs %v",
+			meanPS(rs.SparsePS), meanPS(rb.SparsePS))
+	}
+	if rb.Throughput <= rs.Throughput {
+		t.Errorf("cluster throughput must rise with trainers: %v vs %v",
+			rs.Throughput, rb.Throughput)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := quickConfig(7)
+	cfg.Model.Sparse = nil
+	if _, err := Run(cfg); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestHogwildFlowsIncreaseUtilization(t *testing.T) {
+	serial := quickConfig(8)
+	serial.HogwildFlows = 1
+	overlapped := quickConfig(8)
+	overlapped.HogwildFlows = 4
+	rs, err := Run(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := Run(overlapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.Throughput <= rs.Throughput {
+		t.Errorf("overlap should raise throughput: %v vs %v", rs.Throughput, ro.Throughput)
+	}
+}

@@ -1,0 +1,236 @@
+// Package tensor implements the dense float32 linear-algebra kernels that
+// the DLRM training stack is built on: matrices, parallel blocked matrix
+// multiplication (including transposed variants needed by backpropagation),
+// and vector primitives.
+//
+// The package is deliberately small and allocation-conscious: every kernel
+// writes into a caller-provided destination so the training loop can reuse
+// buffers across iterations, which matters when Hogwild workers hammer the
+// same model concurrently.
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New allocates a zeroed rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid dims %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromData wraps an existing slice as a rows×cols matrix. The slice is not
+// copied; len(data) must equal rows*cols.
+func FromData(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (shared backing storage).
+func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float32) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Add accumulates other into m element-wise. Shapes must match.
+func (m *Matrix) Add(other *Matrix) {
+	m.mustSameShape(other)
+	AddTo(m.Data, other.Data)
+}
+
+// Sub subtracts other from m element-wise. Shapes must match.
+func (m *Matrix) Sub(other *Matrix) {
+	m.mustSameShape(other)
+	for i, v := range other.Data {
+		m.Data[i] -= v
+	}
+}
+
+// Scale multiplies every element by a.
+func (m *Matrix) Scale(a float32) { ScaleVec(m.Data, a) }
+
+// AXPY computes m += a*x element-wise. Shapes must match.
+func (m *Matrix) AXPY(a float32, x *Matrix) {
+	m.mustSameShape(x)
+	Axpy(a, x.Data, m.Data)
+}
+
+// Equal reports whether two matrices have identical shape and elements
+// within tolerance eps.
+func (m *Matrix) Equal(other *Matrix, eps float32) bool {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		d := v - other.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > eps {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Matrix) mustSameShape(other *Matrix) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic(fmt.Sprintf("tensor: shape mismatch %dx%d vs %dx%d",
+			m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+}
+
+// parallelThreshold is the FLOP count above which matmuls fan out across
+// goroutines. Below it the goroutine overhead exceeds the win.
+const parallelThreshold = 1 << 17
+
+// MatMul computes dst = a·b where a is m×k and b is k×n. dst must be m×n
+// and must not alias a or b.
+func MatMul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul dims (%dx%d)·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	parallelRows(a.Rows, a.Rows*a.Cols*b.Cols, func(r0, r1 int) {
+		matMulRange(dst, a, b, r0, r1)
+	})
+}
+
+// matMulRange computes rows [r0, r1) of dst = a·b using the cache-friendly
+// i-k-j loop order with the inner loop vectorizable by the compiler.
+func matMulRange(dst, a, b *Matrix, r0, r1 int) {
+	n := b.Cols
+	k := a.Cols
+	for i := r0; i < r1; i++ {
+		drow := dst.Data[i*n : (i+1)*n]
+		for j := range drow {
+			drow[j] = 0
+		}
+		arow := a.Data[i*k : (i+1)*k]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			Axpy(av, brow, drow)
+		}
+	}
+}
+
+// MatMulTransB computes dst = a·bᵀ where a is m×k and b is n×k. dst must
+// be m×n. This is the shape backprop needs for input gradients
+// (dX = dY·Wᵀ) without materializing the transpose.
+func MatMulTransB(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransB dims (%dx%d)·(%dx%d)ᵀ->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	parallelRows(a.Rows, a.Rows*a.Cols*b.Rows, func(r0, r1 int) {
+		k := a.Cols
+		n := b.Rows
+		for i := r0; i < r1; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			drow := dst.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				drow[j] = Dot(arow, b.Data[j*k:(j+1)*k])
+			}
+		}
+	})
+}
+
+// MatMulTransA computes dst = aᵀ·b where a is k×m and b is k×n. dst must
+// be m×n. This is the shape backprop needs for weight gradients
+// (dW = Xᵀ·dY).
+func MatMulTransA(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransA dims (%dx%d)ᵀ·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	parallelRows(a.Cols, a.Rows*a.Cols*b.Cols, func(r0, r1 int) {
+		m := a.Cols
+		n := b.Cols
+		for i := r0; i < r1; i++ {
+			drow := dst.Data[i*n : (i+1)*n]
+			for j := range drow {
+				drow[j] = 0
+			}
+			for p := 0; p < a.Rows; p++ {
+				av := a.Data[p*m+i]
+				if av == 0 {
+					continue
+				}
+				Axpy(av, b.Data[p*n:(p+1)*n], drow)
+			}
+		}
+	})
+}
+
+// parallelRows splits [0, rows) into contiguous chunks and runs fn on each,
+// in parallel when work (a FLOP estimate) justifies it.
+func parallelRows(rows, work int, fn func(r0, r1 int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if rows == 0 {
+		return
+	}
+	if work < parallelThreshold || workers < 2 || rows < 2 {
+		fn(0, rows)
+		return
+	}
+	if workers > rows {
+		workers = rows
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		r0 := w * chunk
+		r1 := r0 + chunk
+		if r1 > rows {
+			r1 = rows
+		}
+		if r0 >= r1 {
+			break
+		}
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			fn(r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,108 @@
+package tensor
+
+import (
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// Dot returns the inner product of a and b. Lengths must match; the
+// shorter-slice bound is taken to keep the hot loop branch-free, so
+// callers are expected to pass equal lengths.
+func Dot(a, b []float32) float32 {
+	var s float32
+	if len(a) > len(b) {
+		a = a[:len(b)]
+	}
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x element-wise.
+func Axpy(alpha float32, x, y []float32) {
+	if len(x) > len(y) {
+		x = x[:len(y)]
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// AddTo computes dst += src element-wise.
+func AddTo(dst, src []float32) {
+	if len(src) > len(dst) {
+		src = src[:len(dst)]
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// ScaleVec multiplies every element of x by a.
+func ScaleVec(x []float32, a float32) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Sum returns the sum of all elements.
+func Sum(x []float32) float32 {
+	var s float32
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// L2Norm returns the Euclidean norm of x.
+func L2Norm(x []float32) float32 {
+	var s float64
+	for _, v := range x {
+		s += float64(v) * float64(v)
+	}
+	return float32(math.Sqrt(s))
+}
+
+// MaxAbs returns the largest absolute element value of x (0 for empty x).
+func MaxAbs(x []float32) float32 {
+	var m float32
+	for _, v := range x {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// XavierInit fills m with Xavier/Glorot-uniform values appropriate for a
+// layer with the given fan-in and fan-out.
+func XavierInit(m *Matrix, fanIn, fanOut int, rng *xrand.RNG) {
+	bound := float32(math.Sqrt(6.0 / float64(fanIn+fanOut)))
+	for i := range m.Data {
+		m.Data[i] = (2*rng.Float32() - 1) * bound
+	}
+}
+
+// UniformInit fills m with uniform values in [-bound, bound].
+func UniformInit(m *Matrix, bound float32, rng *xrand.RNG) {
+	for i := range m.Data {
+		m.Data[i] = (2*rng.Float32() - 1) * bound
+	}
+}
+
+// NormalInit fills m with N(0, std²) values.
+func NormalInit(m *Matrix, std float64, rng *xrand.RNG) {
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormMS(0, std))
+	}
+}
+
+// Sigmoid returns 1/(1+exp(-x)) computed in float64 for stability.
+func Sigmoid(x float32) float32 {
+	return float32(1.0 / (1.0 + math.Exp(-float64(x))))
+}

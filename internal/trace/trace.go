@@ -1,0 +1,215 @@
+// Package trace captures and characterizes embedding-table access
+// patterns — the paper's §III-A2 analysis (Fig 6, Fig 7): per-table
+// access frequencies follow a power law, frequency does not correlate
+// with table size, and the skew creates caching opportunities.
+//
+// It also provides an LRU cache simulator to quantify that caching
+// opportunity on recorded traces.
+package trace
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Collector counts per-row accesses per table.
+type Collector struct {
+	cfg    core.Config
+	counts []map[int32]uint64
+	totals []uint64
+}
+
+// NewCollector prepares a collector for the config's tables.
+func NewCollector(cfg core.Config) *Collector {
+	c := &Collector{cfg: cfg}
+	c.counts = make([]map[int32]uint64, cfg.NumSparse())
+	c.totals = make([]uint64, cfg.NumSparse())
+	for i := range c.counts {
+		c.counts[i] = make(map[int32]uint64)
+	}
+	return c
+}
+
+// Record notes one access to table feature at row ix.
+func (c *Collector) Record(feature int, ix int32) {
+	c.counts[feature][ix]++
+	c.totals[feature]++
+}
+
+// RecordBatch ingests every lookup in the batch.
+func (c *Collector) RecordBatch(b *core.MiniBatch) {
+	for f, bag := range b.Bags {
+		for _, ix := range bag.Indices {
+			c.Record(f, ix)
+		}
+	}
+}
+
+// TableProfile summarizes one table's observed accesses.
+type TableProfile struct {
+	Feature    int
+	Name       string
+	HashSize   int
+	Bytes      int64
+	Accesses   uint64
+	UniqueRows int
+	// Top1PctShare is the fraction of accesses absorbed by the most
+	// popular 1% of touched rows — the locality that makes caching
+	// (§III-A2) attractive.
+	Top1PctShare float64
+	// MeanPerExample is the observed mean pooled length.
+	MeanPerExample float64
+}
+
+// Profiles computes per-table summaries. examples is the number of
+// training examples ingested.
+func (c *Collector) Profiles(examples int) []TableProfile {
+	out := make([]TableProfile, c.cfg.NumSparse())
+	for f := range out {
+		p := TableProfile{
+			Feature:  f,
+			Name:     c.cfg.Sparse[f].Name,
+			HashSize: c.cfg.Sparse[f].HashSize,
+			Bytes:    int64(c.cfg.Sparse[f].HashSize) * int64(c.cfg.EmbeddingDim) * 4,
+			Accesses: c.totals[f],
+		}
+		p.UniqueRows = len(c.counts[f])
+		if examples > 0 {
+			p.MeanPerExample = float64(c.totals[f]) / float64(examples)
+		}
+		if p.UniqueRows > 0 && p.Accesses > 0 {
+			freqs := make([]uint64, 0, p.UniqueRows)
+			for _, n := range c.counts[f] {
+				freqs = append(freqs, n)
+			}
+			sort.Slice(freqs, func(i, j int) bool { return freqs[i] > freqs[j] })
+			top := p.UniqueRows / 100
+			if top < 1 {
+				top = 1
+			}
+			var sum uint64
+			for _, n := range freqs[:top] {
+				sum += n
+			}
+			p.Top1PctShare = float64(sum) / float64(p.Accesses)
+		}
+		out[f] = p
+	}
+	return out
+}
+
+// AccessFrequencies returns total accesses per table, the series whose
+// rank-frequency shape the paper describes as a power law.
+func (c *Collector) AccessFrequencies() []float64 {
+	out := make([]float64, len(c.totals))
+	for i, n := range c.totals {
+		out[i] = float64(n)
+	}
+	return out
+}
+
+// SizeFrequencyCorrelation returns the Pearson correlation between table
+// size and access count; the paper observes it is weak ("the access
+// frequency does not always correlate with the embedding table size").
+func (c *Collector) SizeFrequencyCorrelation() float64 {
+	n := len(c.totals)
+	if n < 2 {
+		return 0
+	}
+	var mx, my float64
+	for f := 0; f < n; f++ {
+		mx += float64(c.cfg.Sparse[f].HashSize)
+		my += float64(c.totals[f])
+	}
+	mx /= float64(n)
+	my /= float64(n)
+	var sxy, sxx, syy float64
+	for f := 0; f < n; f++ {
+		dx := float64(c.cfg.Sparse[f].HashSize) - mx
+		dy := float64(c.totals[f]) - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / (math.Sqrt(sxx) * math.Sqrt(syy))
+}
+
+// LRU is a fixed-capacity least-recently-used cache over (table, row)
+// keys, used to estimate the hit rate a row cache would achieve on a
+// recorded access stream.
+type LRU struct {
+	capacity int
+	ll       *list.List
+	items    map[uint64]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+// NewLRU creates a cache holding capacity rows.
+func NewLRU(capacity int) *LRU {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("trace: LRU capacity %d", capacity))
+	}
+	return &LRU{capacity: capacity, ll: list.New(), items: make(map[uint64]*list.Element)}
+}
+
+func key(feature int, ix int32) uint64 {
+	return uint64(feature)<<32 | uint64(uint32(ix))
+}
+
+// Access touches (feature, ix) and reports whether it hit.
+func (c *LRU) Access(feature int, ix int32) bool {
+	k := key(feature, ix)
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return true
+	}
+	c.misses++
+	el := c.ll.PushFront(k)
+	c.items[k] = el
+	if c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(uint64))
+	}
+	return false
+}
+
+// HitRate returns hits / (hits + misses).
+func (c *LRU) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Len returns the number of cached rows.
+func (c *LRU) Len() int { return c.ll.Len() }
+
+// CacheOpportunity replays the batches through LRU caches of the given
+// row capacities and returns the hit rate per capacity — the §III-A2
+// caching-opportunity curve.
+func CacheOpportunity(batches []*core.MiniBatch, capacities []int) []float64 {
+	out := make([]float64, len(capacities))
+	for i, cap := range capacities {
+		lru := NewLRU(cap)
+		for _, b := range batches {
+			for f, bag := range b.Bags {
+				for _, ix := range bag.Indices {
+					lru.Access(f, ix)
+				}
+			}
+		}
+		out[i] = lru.HitRate()
+	}
+	return out
+}

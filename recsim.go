@@ -1,0 +1,174 @@
+// Package recsim is the public API of this repository: a pure-Go
+// reproduction of "Understanding Training Efficiency of Deep Learning
+// Recommendation Models at Scale" (HPCA 2021).
+//
+// It bundles three capabilities:
+//
+//   - a real DLRM training stack (models, embedding tables, optimizers,
+//     synthetic click data, single-node and distributed trainers);
+//   - an analytic + discrete-event performance model of the paper's
+//     hardware platforms (dual-socket CPU, Big Basin, Zion) and embedding
+//     placement strategies;
+//   - runners that regenerate every table and figure of the paper's
+//     evaluation.
+//
+// Quick start:
+//
+//	cfg := recsim.TestSuiteModel(1024, 16)
+//	bd, _ := recsim.EstimateGPU(cfg, "BigBasin", 1600, recsim.PlaceGPUMemory)
+//	fmt.Println(bd.Throughput, bd.Bottleneck)
+package recsim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/experiments"
+	"repro/internal/hw"
+	"repro/internal/perfmodel"
+	"repro/internal/placement"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// Re-exported core types. The aliases make the public surface explicit
+// while keeping implementations in internal packages.
+type (
+	// ModelConfig describes a DLRM architecture (Fig 3).
+	ModelConfig = core.Config
+	// SparseFeature configures one categorical feature/table.
+	SparseFeature = core.SparseFeature
+	// Model is an instantiated DLRM with real parameters.
+	Model = core.Model
+	// MiniBatch is one training batch.
+	MiniBatch = core.MiniBatch
+	// Trainer couples a model with its optimizers.
+	Trainer = core.Trainer
+	// TrainerConfig holds single-node training hyper-parameters.
+	TrainerConfig = core.TrainerConfig
+	// EvalResult carries log loss, normalized entropy, and accuracy.
+	EvalResult = core.EvalResult
+	// Generator produces synthetic click batches with production-like
+	// sparse statistics.
+	Generator = data.Generator
+	// Platform is a hardware platform from the paper's Table I.
+	Platform = hw.Platform
+	// PlacementStrategy selects where embedding tables live (Fig 8).
+	PlacementStrategy = placement.Strategy
+	// PlacementPlan is a feasibility-checked placement.
+	PlacementPlan = placement.Plan
+	// Breakdown is a per-iteration time/throughput/power estimate.
+	Breakdown = perfmodel.Breakdown
+	// ExperimentResult is one regenerated paper artifact.
+	ExperimentResult = experiments.Result
+	// ExperimentOptions tunes experiment execution.
+	ExperimentOptions = experiments.Options
+)
+
+// Placement strategies (Fig 8).
+const (
+	PlaceGPUMemory    = placement.GPUMemory
+	PlaceSystemMemory = placement.SystemMemory
+	PlaceRemoteCPU    = placement.RemoteCPU
+	PlaceHybrid       = placement.Hybrid
+)
+
+// Interaction kinds.
+const (
+	InteractionConcat = core.Concat
+	InteractionDot    = core.DotProduct
+)
+
+// NewModel instantiates a DLRM with fresh parameters.
+func NewModel(cfg ModelConfig, seed int64) *Model {
+	return core.NewModel(cfg, xrand.New(seed))
+}
+
+// NewTrainer builds a single-node trainer.
+func NewTrainer(m *Model, tc TrainerConfig) *Trainer { return core.NewTrainer(m, tc) }
+
+// NewGenerator builds a deterministic synthetic data generator whose
+// labels come from a planted teacher model.
+func NewGenerator(cfg ModelConfig, seed int64) *Generator {
+	return data.NewGenerator(cfg, seed, data.DefaultOptions())
+}
+
+// Evaluate scores a model on held-out batches.
+func Evaluate(m *Model, batches []*MiniBatch) EvalResult { return core.Evaluate(m, batches) }
+
+// Platforms returns the Table I hardware catalog.
+func Platforms() []Platform { return hw.Platforms() }
+
+// PlatformByName resolves "DualSocketCPU", "BigBasin", or "Zion".
+func PlatformByName(name string) (Platform, error) { return hw.ByName(name) }
+
+// TestSuiteModel builds the paper's §V design-space-exploration model
+// with the given dense and sparse feature counts (MLP 512^3, hash 1e5).
+func TestSuiteModel(dense, sparse int) ModelConfig {
+	return workload.DefaultTestSuite(dense, sparse)
+}
+
+// ProductionModels returns M1prod, M2prod, and M3prod (Table II).
+func ProductionModels() []ModelConfig { return workload.ProdModels() }
+
+// FitPlacement checks whether the model fits on the platform under the
+// strategy and returns the concrete plan. remotePS of 0 auto-sizes the
+// remote parameter-server fleet.
+func FitPlacement(cfg ModelConfig, platformName string, strategy PlacementStrategy, remotePS int) (PlacementPlan, error) {
+	p, err := hw.ByName(platformName)
+	if err != nil {
+		return PlacementPlan{}, err
+	}
+	return placement.Fit(cfg, p, strategy, remotePS)
+}
+
+// EstimateGPU estimates one training iteration of the model on a GPU
+// platform with the given placement.
+func EstimateGPU(cfg ModelConfig, platformName string, batch int, strategy PlacementStrategy) (Breakdown, error) {
+	p, err := hw.ByName(platformName)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	plan, err := placement.Fit(cfg, p, strategy, 0)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	return perfmodel.Estimate(perfmodel.Scenario{Cfg: cfg, Platform: p, Batch: batch, Plan: plan})
+}
+
+// EstimateCPUCluster estimates the production distributed CPU baseline
+// (Fig 4) with the given topology.
+func EstimateCPUCluster(cfg ModelConfig, batch, trainers, sparsePS, densePS int) (Breakdown, error) {
+	return perfmodel.Estimate(perfmodel.Scenario{
+		Cfg: cfg, Platform: hw.DualSocketCPU(), Batch: batch,
+		NumTrainers: trainers, NumSparsePS: sparsePS, NumDensePS: densePS,
+	})
+}
+
+// BestPlacement picks the fastest feasible paper placement on a platform.
+func BestPlacement(cfg ModelConfig, platformName string, batch int) (PlacementPlan, Breakdown, error) {
+	p, err := hw.ByName(platformName)
+	if err != nil {
+		return PlacementPlan{}, Breakdown{}, err
+	}
+	return perfmodel.BestPlacement(cfg, p, batch, perfmodel.DefaultCalibration())
+}
+
+// Experiments lists the regenerable paper artifacts.
+func Experiments() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one table or figure.
+func RunExperiment(id string, opt ExperimentOptions) (ExperimentResult, error) {
+	return experiments.Run(id, opt)
+}
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"
+
+// Describe returns a one-line summary of a model config.
+func Describe(cfg ModelConfig) string {
+	return fmt.Sprintf("%s: %d dense, %d sparse, %s embeddings, %.0f lookups/example",
+		cfg.Name, cfg.DenseFeatures, cfg.NumSparse(),
+		core.HumanBytes(cfg.EmbeddingBytes()), cfg.LookupsPerExample())
+}

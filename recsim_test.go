@@ -1,0 +1,104 @@
+package recsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicAPITrainingFlow(t *testing.T) {
+	cfg := ModelConfig{
+		Name:          "api-test",
+		DenseFeatures: 8,
+		Sparse:        []SparseFeature{{Name: "f0", HashSize: 100, MeanPooled: 3, MaxPooled: 8}},
+		EmbeddingDim:  8,
+		BottomMLP:     []int{16},
+		TopMLP:        []int{16},
+		Interaction:   InteractionDot,
+	}
+	m := NewModel(cfg, 1)
+	tr := NewTrainer(m, TrainerConfig{LR: 0.05})
+	gen := NewGenerator(cfg, 2)
+	var first, last float64
+	for i := 0; i < 100; i++ {
+		loss := tr.Step(gen.NextBatch(32))
+		if i < 10 {
+			first += loss
+		}
+		if i >= 90 {
+			last += loss
+		}
+	}
+	if last >= first {
+		t.Errorf("loss did not improve: %v -> %v", first/10, last/10)
+	}
+	res := Evaluate(m, gen.EvalSet(4, 64))
+	if res.Examples != 256 {
+		t.Errorf("Evaluate examples = %d", res.Examples)
+	}
+}
+
+func TestPublicAPIEstimation(t *testing.T) {
+	cfg := TestSuiteModel(1024, 16)
+	g, err := EstimateGPU(cfg, "BigBasin", 1600, PlaceGPUMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := EstimateCPUCluster(cfg, 200, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Throughput <= c.Throughput {
+		t.Errorf("GPU (%v) should beat single-trainer CPU (%v) here", g.Throughput, c.Throughput)
+	}
+	if _, err := EstimateGPU(cfg, "TPUv4", 1600, PlaceGPUMemory); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}
+
+func TestPublicAPIPlacement(t *testing.T) {
+	models := ProductionModels()
+	if len(models) != 3 {
+		t.Fatalf("ProductionModels = %d", len(models))
+	}
+	// M3 does not fit Big Basin GPU memory.
+	if _, err := FitPlacement(models[2], "BigBasin", PlaceGPUMemory, 0); err == nil {
+		t.Error("M3prod must not fit on Big Basin GPUs")
+	}
+	plan, bd, err := BestPlacement(models[1], "Zion", 3200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Strategy != PlaceSystemMemory {
+		t.Errorf("M2prod on Zion best placement = %v, want SystemMemory", plan.Strategy)
+	}
+	if bd.Throughput <= 0 {
+		t.Error("zero throughput")
+	}
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	ids := Experiments()
+	if len(ids) != 16 {
+		t.Fatalf("Experiments() = %d ids", len(ids))
+	}
+	res, err := RunExperiment("table1", ExperimentOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Output, "Zion") {
+		t.Error("table1 output missing Zion")
+	}
+}
+
+func TestPlatformsAndDescribe(t *testing.T) {
+	if len(Platforms()) != 3 {
+		t.Error("three platforms expected")
+	}
+	if _, err := PlatformByName("BigBasin"); err != nil {
+		t.Error(err)
+	}
+	d := Describe(ProductionModels()[0])
+	if !strings.Contains(d, "M1prod") || !strings.Contains(d, "dense") {
+		t.Errorf("Describe = %q", d)
+	}
+}
