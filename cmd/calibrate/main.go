@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
@@ -226,15 +227,28 @@ func perturb(rng *xrand.RNG, base perfmodel.Calibration, scale float64) perfmode
 }
 
 func main() {
-	iters := flag.Int("iters", 30000, "random search iterations")
-	refine := flag.Int("refine", 20000, "local refinement iterations")
-	seed := flag.Int64("seed", 7, "search seed")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run writes the paste-able calibration block to out and search progress
+// to errOut, so `calibrate > cal.txt` captures only the constants.
+func run(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("calibrate", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	iters := fs.Int("iters", 30000, "random search iterations")
+	refine := fs.Int("refine", 20000, "local refinement iterations")
+	seed := fs.Int64("seed", 7, "search seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	rng := xrand.New(*seed)
 	best := perfmodel.DefaultCalibration()
 	bestLoss, _ := evaluate(best)
-	fmt.Fprintf(os.Stderr, "starting loss (current defaults): %.4f\n", bestLoss)
+	fmt.Fprintf(errOut, "starting loss (current defaults): %.4f\n", bestLoss)
 
 	for i := 0; i < *iters; i++ {
 		c := sample(rng, best)
@@ -242,7 +256,7 @@ func main() {
 			bestLoss, best = l, c
 		}
 	}
-	fmt.Fprintf(os.Stderr, "after random search: %.4f\n", bestLoss)
+	fmt.Fprintf(errOut, "after random search: %.4f\n", bestLoss)
 	for i := 0; i < *refine; i++ {
 		scale := 0.15
 		if i > *refine/2 {
@@ -253,37 +267,39 @@ func main() {
 			bestLoss, best = l, c
 		}
 	}
-	fmt.Fprintf(os.Stderr, "after refinement: %.4f\n", bestLoss)
+	fmt.Fprintf(errOut, "after refinement: %.4f\n", bestLoss)
 
 	_, results := evaluate(best)
-	fmt.Println("// Fitted calibration (paste into DefaultCalibration):")
-	fmt.Printf("GPUGemmEff:          %.4g,\n", best.GPUGemmEff)
-	fmt.Printf("CPUGemmEff:          %.4g,\n", best.CPUGemmEff)
-	fmt.Printf("BatchEffHalf:        %.4g,\n", best.BatchEffHalf)
-	fmt.Printf("GPURandEff:          %.4g,\n", best.GPURandEff)
-	fmt.Printf("CPURandEff:          %.4g,\n", best.CPURandEff)
-	fmt.Printf("NVLinkEff:           %.4g,\n", best.NVLinkEff)
-	fmt.Printf("PCIeEff:             %.4g,\n", best.PCIeEff)
-	fmt.Printf("NetEff:              %.4g,\n", best.NetEff)
-	fmt.Printf("AllToAllSpread:      %.4g,\n", best.AllToAllSpread)
-	fmt.Printf("KernelLaunchSec:     %.4g,\n", best.KernelLaunchSec)
-	fmt.Printf("GPUFixedSec:         %.4g,\n", best.GPUFixedSec)
-	fmt.Printf("CPUFixedSec:         %.4g,\n", best.CPUFixedSec)
-	fmt.Printf("HogwildEff:          %.4g,\n", best.HogwildEff)
-	fmt.Printf("CacheBatch:          %.4g,\n", best.CacheBatch)
-	fmt.Printf("HostCopyBWPerSocket: %.4g,\n", best.HostCopyBWPerSocket)
-	fmt.Printf("HostStageBWPerSocket: %.4g,\n", best.HostStageBWPerSocket)
-	fmt.Printf("EASGDPeriodIters:    %.4g,\n", best.EASGDPeriodIters)
-	fmt.Printf("EmbedFwdBwdFactor:   %.4g,\n", best.EmbedFwdBwdFactor)
-	fmt.Printf("CacheSlope:          %.4g,\n", best.CacheSlope)
-	fmt.Printf("CacheRefBytes:       %.4g,\n", best.CacheRefBytes)
-	fmt.Printf("PSHandleBWPerNode:   %.4g,\n", best.PSHandleBWPerNode)
-	fmt.Printf("RemoteRTTSec:        %.4g,\n", best.RemoteRTTSec)
-	fmt.Printf("PSDRAMEff:           %.4g,\n", best.PSDRAMEff)
-	fmt.Printf("HostBounceFactor:    %.4g,\n", best.HostBounceFactor)
-	fmt.Println()
-	fmt.Printf("%-24s %10s %10s %8s\n", "target", "paper", "model", "ratio")
+	fmt.Fprintln(out, "// Fitted calibration (paste into DefaultCalibration):")
+	fmt.Fprintf(out, "GPUGemmEff:          %.4g,\n", best.GPUGemmEff)
+	fmt.Fprintf(out, "CPUGemmEff:          %.4g,\n", best.CPUGemmEff)
+	fmt.Fprintf(out, "BatchEffHalf:        %.4g,\n", best.BatchEffHalf)
+	fmt.Fprintf(out, "GPURandEff:          %.4g,\n", best.GPURandEff)
+	fmt.Fprintf(out, "CPURandEff:          %.4g,\n", best.CPURandEff)
+	fmt.Fprintf(out, "NVLinkEff:           %.4g,\n", best.NVLinkEff)
+	fmt.Fprintf(out, "PCIeEff:             %.4g,\n", best.PCIeEff)
+	fmt.Fprintf(out, "NetEff:              %.4g,\n", best.NetEff)
+	fmt.Fprintf(out, "AllToAllSpread:      %.4g,\n", best.AllToAllSpread)
+	fmt.Fprintf(out, "KernelLaunchSec:     %.4g,\n", best.KernelLaunchSec)
+	fmt.Fprintf(out, "GPUFixedSec:         %.4g,\n", best.GPUFixedSec)
+	fmt.Fprintf(out, "CPUFixedSec:         %.4g,\n", best.CPUFixedSec)
+	fmt.Fprintf(out, "HogwildEff:          %.4g,\n", best.HogwildEff)
+	fmt.Fprintf(out, "CacheBatch:          %.4g,\n", best.CacheBatch)
+	fmt.Fprintf(out, "HostCopyBWPerSocket: %.4g,\n", best.HostCopyBWPerSocket)
+	fmt.Fprintf(out, "HostStageBWPerSocket: %.4g,\n", best.HostStageBWPerSocket)
+	fmt.Fprintf(out, "EASGDPeriodIters:    %.4g,\n", best.EASGDPeriodIters)
+	fmt.Fprintf(out, "EmbedFwdBwdFactor:   %.4g,\n", best.EmbedFwdBwdFactor)
+	fmt.Fprintf(out, "CacheSlope:          %.4g,\n", best.CacheSlope)
+	fmt.Fprintf(out, "CacheRefBytes:       %.4g,\n", best.CacheRefBytes)
+	fmt.Fprintf(out, "PSHandleBWPerNode:   %.4g,\n", best.PSHandleBWPerNode)
+	fmt.Fprintf(out, "RemoteRTTSec:        %.4g,\n", best.RemoteRTTSec)
+	fmt.Fprintf(out, "PSDRAMEff:           %.4g,\n", best.PSDRAMEff)
+	fmt.Fprintf(out, "HostBounceFactor:    %.4g,\n", best.HostBounceFactor)
+	fmt.Fprintf(out, "NVMRandEff:          %.4g,\n", best.NVMRandEff)
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "%-24s %10s %10s %8s\n", "target", "paper", "model", "ratio")
 	for _, r := range results {
-		fmt.Printf("%-24s %10.3f %10.3f %8.2f\n", r.name, r.paper, r.modeled, r.modeled/r.paper)
+		fmt.Fprintf(out, "%-24s %10.3f %10.3f %8.2f\n", r.name, r.paper, r.modeled, r.modeled/r.paper)
 	}
+	return nil
 }

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/perfmodel"
+)
+
+func TestRunTinySearch(t *testing.T) {
+	var out, progress strings.Builder
+	if err := run([]string{"-iters", "3", "-refine", "3", "-seed", "1"}, &out, &progress); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fitted calibration", "GPUGemmEff", "NVMRandEff", "tableIII.M1prod"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Progress stays off stdout so the constants block redirects cleanly.
+	if strings.Contains(out.String(), "after random search") {
+		t.Error("search progress leaked into the paste-able output")
+	}
+	if !strings.Contains(progress.String(), "after refinement") {
+		t.Error("progress writer saw no progress")
+	}
+}
+
+func TestEvaluateFiniteLoss(t *testing.T) {
+	// The anchor evaluation must stay well-defined for the shipped
+	// defaults: every target produces a finite modeled value.
+	loss, results := evaluate(perfmodel.DefaultCalibration())
+	if loss < 0 {
+		t.Errorf("negative loss %v", loss)
+	}
+	if len(results) == 0 {
+		t.Fatal("no targets evaluated")
+	}
+}

@@ -9,53 +9,63 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/experiments"
 )
 
 func main() {
-	list := flag.Bool("list", false, "list experiment ids")
-	exp := flag.String("exp", "", "experiment id to run")
-	all := flag.Bool("all", false, "run every experiment")
-	quick := flag.Bool("quick", false, "shrink real-training and fleet experiments")
-	seed := flag.Int64("seed", 0, "experiment seed")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dlrmbench", flag.ContinueOnError)
+	fs.SetOutput(out)
+	list := fs.Bool("list", false, "list experiment ids")
+	exp := fs.String("exp", "", "experiment id to run")
+	all := fs.Bool("all", false, "run every experiment")
+	quick := fs.Bool("quick", false, "shrink real-training and fleet experiments")
+	seed := fs.Int64("seed", 0, "experiment seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	opt := experiments.Options{Quick: *quick, Seed: *seed}
 
 	switch {
 	case *list:
 		for _, id := range experiments.IDs() {
-			fmt.Printf("%-8s %s\n", id, experiments.Title(id))
+			fmt.Fprintf(out, "%-8s %s\n", id, experiments.Title(id))
 		}
+		return nil
 	case *all:
 		for _, id := range experiments.IDs() {
-			if err := runOne(id, opt); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+			if err := runOne(out, id, opt); err != nil {
+				return err
 			}
 		}
+		return nil
 	case *exp != "":
-		if err := runOne(*exp, opt); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		return runOne(out, *exp, opt)
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("dlrmbench: pass -list, -exp, or -all")
 	}
 }
 
-func runOne(id string, opt experiments.Options) error {
+func runOne(out io.Writer, id string, opt experiments.Options) error {
 	res, err := experiments.Run(id, opt)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("==== %s — %s ====\n\n", res.ID, res.Title)
-	fmt.Println(res.Output)
-	fmt.Println("Paper vs measured:")
-	fmt.Println(res.PaperNote)
-	fmt.Println()
+	fmt.Fprintf(out, "==== %s — %s ====\n\n", res.ID, res.Title)
+	fmt.Fprintln(out, res.Output)
+	fmt.Fprintln(out, "Paper vs measured:")
+	fmt.Fprintln(out, res.PaperNote)
+	fmt.Fprintln(out)
 	return nil
 }

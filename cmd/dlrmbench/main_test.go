@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig10", "table3", "memtier"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+}
+
+func TestRunOneExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "table1", "-quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Zion") || !strings.Contains(out.String(), "Paper vs measured") {
+		t.Errorf("table1 output incomplete:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "fig99"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run(nil, &out); err == nil {
+		t.Error("no mode selected must error")
+	}
+}

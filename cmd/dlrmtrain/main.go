@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -17,15 +18,26 @@ import (
 )
 
 func main() {
-	dense := flag.Int("dense", 32, "dense feature count")
-	sparse := flag.Int("sparse", 8, "sparse feature count")
-	hash := flag.Int("hash", 10000, "hash size per table")
-	dim := flag.Int("dim", 16, "embedding dimension")
-	batch := flag.Int("batch", 256, "mini-batch size")
-	iters := flag.Int("iters", 500, "training iterations")
-	lr := flag.Float64("lr", 0.05, "learning rate")
-	seed := flag.Int64("seed", 1, "seed")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dlrmtrain", flag.ContinueOnError)
+	fs.SetOutput(out)
+	dense := fs.Int("dense", 32, "dense feature count")
+	sparse := fs.Int("sparse", 8, "sparse feature count")
+	hash := fs.Int("hash", 10000, "hash size per table")
+	dim := fs.Int("dim", 16, "embedding dimension")
+	batch := fs.Int("batch", 256, "mini-batch size")
+	iters := fs.Int("iters", 500, "training iterations")
+	lr := fs.Float64("lr", 0.05, "learning rate")
+	seed := fs.Int64("seed", 1, "seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg := core.Config{
 		Name:          "dlrmtrain",
@@ -37,10 +49,9 @@ func main() {
 		Interaction:   core.DotProduct,
 	}
 	if err := cfg.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("model: %d dense, %d sparse x %d rows, %s embeddings\n",
+	fmt.Fprintf(out, "model: %d dense, %d sparse x %d rows, %s embeddings\n",
 		cfg.DenseFeatures, cfg.NumSparse(), *hash, core.HumanBytes(cfg.EmbeddingBytes()))
 
 	m := core.NewModel(cfg, xrand.New(*seed))
@@ -52,11 +63,12 @@ func main() {
 		loss := tr.Step(gen.NextBatch(*batch))
 		if (i+1)%100 == 0 || i == 0 {
 			eval := core.Evaluate(m, gen.Fork(999).EvalSet(4, 256))
-			fmt.Printf("iter %5d  loss %.4f  NE %.4f  acc %.4f\n", i+1, loss, eval.NE, eval.Accuracy)
+			fmt.Fprintf(out, "iter %5d  loss %.4f  NE %.4f  acc %.4f\n", i+1, loss, eval.NE, eval.Accuracy)
 		}
 	}
 	elapsed := time.Since(start)
 	examples := float64(*iters * *batch)
-	fmt.Printf("trained %d examples in %v (%.0f examples/sec)\n",
+	fmt.Fprintf(out, "trained %d examples in %v (%.0f examples/sec)\n",
 		int(examples), elapsed.Round(time.Millisecond), examples/elapsed.Seconds())
+	return nil
 }

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTrainsSmallModel(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-dense", "8", "-sparse", "2", "-hash", "100",
+		"-dim", "8", "-batch", "32", "-iters", "20"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"model:", "iter", "examples/sec"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-dense", "0"}, &out); err == nil {
+		t.Error("zero dense features accepted")
+	}
+}

@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/fleet"
@@ -15,28 +16,39 @@ import (
 )
 
 func main() {
-	runs := flag.Int("runs", 100, "simulated training runs for the utilization study")
-	workflows := flag.Int("workflows", 3000, "sampled workflows for the server-count study")
-	seed := flag.Int64("seed", 1, "seed")
-	flag.Parse()
-
-	study := fleet.DefaultUtilizationStudy(*runs, *seed)
-	fmt.Printf("Fig 5 study: %d runs at %d trainers / %d sparse PS\n\n",
-		*runs, study.Trainers, study.SparsePS)
-	d, err := study.Run()
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Println(metrics.Table(d.Summaries()))
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fleetsim", flag.ContinueOnError)
+	fs.SetOutput(out)
+	runs := fs.Int("runs", 100, "simulated training runs for the utilization study")
+	workflows := fs.Int("workflows", 3000, "sampled workflows for the server-count study")
+	seed := fs.Int64("seed", 1, "seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	study := fleet.DefaultUtilizationStudy(*runs, *seed)
+	fmt.Fprintf(out, "Fig 5 study: %d runs at %d trainers / %d sparse PS\n\n",
+		*runs, study.Trainers, study.SparsePS)
+	d, err := study.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, metrics.Table(d.Summaries()))
 
 	th, ph, p95 := fleet.ServerCountStudy(*workflows, *seed+1)
 	labels := make([]string, len(th.Counts))
 	for i := range labels {
 		labels[i] = fmt.Sprintf("%2.0f", th.BinCenter(i))
 	}
-	fmt.Printf("Fig 9: trainer counts over %d workflows (p95 = %.0f):\n", *workflows, p95)
-	fmt.Println(metrics.BarChart(labels, th.Fractions(), 40))
-	fmt.Println("parameter-server counts:")
-	fmt.Println(metrics.BarChart(labels, ph.Fractions(), 40))
+	fmt.Fprintf(out, "Fig 9: trainer counts over %d workflows (p95 = %.0f):\n", *workflows, p95)
+	fmt.Fprintln(out, metrics.BarChart(labels, th.Fractions(), 40))
+	fmt.Fprintln(out, "parameter-server counts:")
+	fmt.Fprintln(out, metrics.BarChart(labels, ph.Fractions(), 40))
+	return nil
 }

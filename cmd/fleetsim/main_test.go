@@ -1,0 +1,18 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmallStudy(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-runs", "5", "-workflows", "50"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig 5", "Fig 9", "parameter-server counts"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Command memtier explores the tiered embedding-memory subsystem: it
+// prints a platform's memory hierarchy, stages a model's tables across
+// it, and emits the MTrainS-style capacity -> hit rate -> throughput
+// sweep for the HBM hot-row cache.
+//
+//	memtier -model M3prod -platform BigBasin -batch 800
+//	memtier -model test -dense 1024 -sparse 64 -hash 25600000
+//	memtier -replay -batches 40 -capacities 500,2000,8000
+//
+// The default mode is analytic (power-law hit rates, perfmodel pricing);
+// -replay records a synthetic trace and measures every eviction policy
+// (LRU, LFU, CLOCK) against the analytic estimate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/hw"
+	"repro/internal/memtier"
+	"repro/internal/metrics"
+	"repro/internal/perfmodel"
+	"repro/internal/placement"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("memtier", flag.ContinueOnError)
+	fs.SetOutput(out)
+	model := fs.String("model", "M3prod", "model: M1prod, M2prod, M3prod, or 'test'")
+	dense := fs.Int("dense", 1024, "dense features for -model test")
+	sparse := fs.Int("sparse", 64, "sparse features for -model test")
+	hash := fs.Int("hash", workload.TestSuiteHashSize, "hash size per table for -model test")
+	platformName := fs.String("platform", "BigBasin", "platform name")
+	batch := fs.Int("batch", 800, "global batch size")
+	fractions := fs.String("fractions", "-1,0.025,0.05,0.1,0.2,0.3", "cache fractions to sweep (-1 = cache off)")
+	replay := fs.Bool("replay", false, "replay a recorded synthetic trace through every eviction policy")
+	batches := fs.Int("batches", 40, "batches to record in -replay mode")
+	capacities := fs.String("capacities", "500,2000,8000,32000", "cache row capacities in -replay mode")
+	seed := fs.Int64("seed", 1, "seed for -replay trace generation")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *replay {
+		return runReplay(out, *batches, *capacities, *seed)
+	}
+
+	cfg, err := resolveModel(*model, *dense, *sparse, *hash)
+	if err != nil {
+		return err
+	}
+	platform, err := hw.ByName(*platformName)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "model: %s (%s embeddings)\n", cfg.Name, core.HumanBytes(cfg.EmbeddingBytes()))
+	fmt.Fprintf(out, "hierarchy of %s:\n", platform.Name)
+	for _, tier := range platform.MemoryTiers(0) {
+		fmt.Fprintf(out, "  %s (usable %s)\n", tier.String(), core.HumanBytes(memtier.UsableBytes(tier)))
+	}
+
+	plan, err := placement.FitTiered(cfg, platform, placement.TieredOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\ndefault tiered assignment:\n%s\n", plan.Tiered.String())
+
+	// Flat baseline: the fastest paper placement.
+	var baseline float64
+	baseName := "none feasible"
+	if bp, bd, err := perfmodel.BestPlacementAmong(cfg, platform, *batch, perfmodel.DefaultCalibration(),
+		[]placement.Strategy{placement.GPUMemory, placement.SystemMemory, placement.RemoteCPU}); err == nil {
+		baseline = bd.Throughput
+		baseName = bp.Strategy.String()
+	}
+
+	fracs, err := splitFloats(*fractions)
+	if err != nil {
+		return err
+	}
+	rows := [][]string{{"cache frac", "cache rows", "est hit rate", "HBM lookup frac",
+		"examples/s", "vs flat", "bottleneck"}}
+	for _, f := range fracs {
+		if f == 0 {
+			// AssignOptions treats 0 as "use the default"; on the CLI a
+			// literal 0 means no cache.
+			f = -1
+		}
+		p, err := placement.FitTiered(cfg, platform, placement.TieredOptions{
+			Assign: memtier.AssignOptions{CacheFraction: f},
+		})
+		if err != nil {
+			return err
+		}
+		bd, err := perfmodel.Estimate(perfmodel.Scenario{Cfg: cfg, Platform: platform, Batch: *batch, Plan: p})
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("%.1f%%", 100*f)
+		if f < 0 {
+			label = "off"
+		}
+		vs := "-"
+		if baseline > 0 {
+			vs = metrics.F2(bd.Throughput / baseline)
+		}
+		rows = append(rows, []string{
+			label,
+			fmt.Sprintf("%d", p.Tiered.CacheRows),
+			metrics.F2(p.Tiered.CacheHitRate),
+			metrics.F2(p.HotFraction),
+			fmt.Sprintf("%.0f", bd.Throughput),
+			vs,
+			bd.Bottleneck,
+		})
+	}
+	fmt.Fprintf(out, "cache sweep at batch %d (flat baseline: %s):\n\n%s",
+		*batch, baseName, metrics.Table(rows))
+	return nil
+}
+
+func runReplay(out io.Writer, batches int, capacities string, seed int64) error {
+	cfg := core.Config{
+		Name:          "memtier-replay",
+		DenseFeatures: 32,
+		Sparse:        core.UniformSparse(8, 50000, 6),
+		EmbeddingDim:  16,
+		BottomMLP:     []int{32},
+		TopMLP:        []int{32},
+		Interaction:   core.Concat,
+	}
+	gen := data.NewGenerator(cfg, seed, data.DefaultOptions())
+	col := trace.NewCollector(cfg)
+	var stream []*core.MiniBatch
+	for i := 0; i < batches; i++ {
+		b := gen.NextBatch(64)
+		stream = append(stream, b)
+		col.RecordBatch(b)
+	}
+	demand := memtier.DemandFromProfile(cfg.TableStats(), col.RowFrequencies(), 0)
+	caps, err := splitInts(capacities)
+	if err != nil {
+		return err
+	}
+	rows := [][]string{append([]string{"cache rows"}, append(memtier.PolicyNames(), "analytic")...)}
+	for _, c := range caps {
+		row := []string{fmt.Sprintf("%d", c)}
+		for _, name := range memtier.PolicyNames() {
+			p, err := memtier.NewPolicy(name, c)
+			if err != nil {
+				return err
+			}
+			row = append(row, metrics.F2(memtier.Replay(p, stream)))
+		}
+		row = append(row, metrics.F2(memtier.EstimateHitRate(demand, c)))
+		rows = append(rows, row)
+	}
+	fmt.Fprintf(out, "replayed %d batches of %s through every policy:\n\n%s",
+		batches, cfg.Name, metrics.Table(rows))
+	return nil
+}
+
+func resolveModel(name string, dense, sparse, hash int) (core.Config, error) {
+	if name == "test" {
+		return workload.TestSuiteConfig(dense, sparse, 512, 3, hash), nil
+	}
+	for _, cfg := range workload.ProdModels() {
+		if cfg.Name == name {
+			return cfg, nil
+		}
+	}
+	return core.Config{}, fmt.Errorf("memtier: unknown model %q (have M1prod, M2prod, M3prod, test)", name)
+}
+
+func splitFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("memtier: bad cache fraction %q in %q", part, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("memtier: cache capacities must be positive integers, got %q in %q", part, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSweepM3(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-model", "M3prod", "-batch", "800"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"hierarchy of BigBasin", "HBM", "hot-row cache",
+		"cache sweep", "bottleneck", "vs flat"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunTestSuiteModel(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-model", "test", "-dense", "64", "-sparse", "4",
+		"-hash", "100000", "-batch", "400", "-fractions", "-1,0.1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cache sweep") {
+		t.Errorf("output missing sweep:\n%s", out.String())
+	}
+}
+
+func TestRunReplayMode(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-replay", "-batches", "5", "-capacities", "100,1000"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"lru", "lfu", "clock", "analytic"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("replay output missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownModel(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-model", "M9prod"}, &out); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestRunRejectsDegenerateSweepInputs(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fractions", "garbage"}, &out); err == nil {
+		t.Error("unparseable fractions accepted")
+	}
+	if err := run([]string{"-replay", "-capacities", "0,-5"}, &out); err == nil {
+		t.Error("non-positive capacities accepted")
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package distrib
+
+const raceDetectorEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package distrib
+
+// raceDetectorEnabled gates test configurations that rely on Hogwild's
+// intentionally lock-free dense-parameter sharing, which the race
+// detector flags by design.
+const raceDetectorEnabled = true

@@ -7,8 +7,8 @@ import (
 
 func TestIDsStable(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 16 {
-		t.Fatalf("%d experiments registered, want 16", len(ids))
+	if len(ids) != 17 {
+		t.Fatalf("%d experiments registered, want 17", len(ids))
 	}
 	for _, id := range ids {
 		if Title(id) == "" {
@@ -77,6 +77,18 @@ func TestFig12MarksOOM(t *testing.T) {
 	}
 	if !strings.Contains(res.Output, "OOM") {
 		t.Error("fig12 should mark infeasible GPU placements as OOM")
+	}
+}
+
+func TestMemtierSweepShape(t *testing.T) {
+	res, err := Run("memtier", Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cache rows", "bottleneck", "lru", "lfu", "clock", "analytic"} {
+		if !strings.Contains(res.Output, want) {
+			t.Errorf("memtier output missing %q", want)
+		}
 	}
 }
 

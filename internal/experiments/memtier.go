@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/hw"
+	"repro/internal/memtier"
+	"repro/internal/metrics"
+	"repro/internal/perfmodel"
+	"repro/internal/placement"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// memtierSweep regenerates the MTrainS-style tiered-memory study on top
+// of the paper's M3prod capacity wall: sweep the HBM hot-row cache
+// capacity and report hit rate and modeled throughput per point, then
+// validate the analytic hit-rate estimator against replayed eviction
+// policies on a recorded synthetic trace.
+func memtierSweep(opt Options) (Result, error) {
+	m3 := workload.M3Prod()
+	bb := hw.BigBasin()
+	const batch = 800
+
+	baseline, err := gpuThroughput(m3, bb, batch, placement.RemoteCPU, 8)
+	if err != nil {
+		return Result{}, err
+	}
+
+	rows := [][]string{{"cache frac", "cache rows", "est hit rate", "HBM lookup frac",
+		"norm throughput", "bottleneck"}}
+	for _, frac := range []float64{-1, 0.025, 0.05, 0.10, 0.20, 0.30} {
+		plan, err := placement.FitTiered(m3, bb, placement.TieredOptions{
+			Assign: memtier.AssignOptions{CacheFraction: frac},
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		bd, err := perfmodel.Estimate(perfmodel.Scenario{Cfg: m3, Platform: bb, Batch: batch, Plan: plan})
+		if err != nil {
+			return Result{}, err
+		}
+		label := fmt.Sprintf("%.1f%%", 100*frac)
+		if frac < 0 {
+			label = "off"
+		}
+		rows = append(rows, []string{
+			label,
+			fmt.Sprintf("%d", plan.Tiered.CacheRows),
+			metrics.F2(plan.Tiered.CacheHitRate),
+			metrics.F2(plan.HotFraction),
+			metrics.F2(bd.Throughput / baseline.Throughput),
+			bd.Bottleneck,
+		})
+	}
+
+	var b strings.Builder
+	b.WriteString("M3prod on Big Basin, capacity -> hit rate -> throughput\n")
+	b.WriteString("(normalized to the paper's RemoteCPU placement = 1.00):\n\n")
+	b.WriteString(metrics.Table(rows))
+
+	// Eviction-policy validation on a recorded trace: replayed hit rates
+	// per policy vs the analytic trace-driven estimate.
+	cfg := core.Config{
+		Name:          "memtier-trace",
+		DenseFeatures: 32,
+		Sparse:        core.UniformSparse(8, 50000, 6),
+		EmbeddingDim:  16,
+		BottomMLP:     []int{32},
+		TopMLP:        []int{32},
+		Interaction:   core.Concat,
+	}
+	batches := 40
+	if opt.Quick {
+		batches = 10
+	}
+	gen := data.NewGenerator(cfg, opt.Seed+17, data.DefaultOptions())
+	col := trace.NewCollector(cfg)
+	var stream []*core.MiniBatch
+	for i := 0; i < batches; i++ {
+		mb := gen.NextBatch(64)
+		stream = append(stream, mb)
+		col.RecordBatch(mb)
+	}
+	demand := memtier.DemandFromProfile(cfg.TableStats(), col.RowFrequencies(), 0)
+	caps := []int{500, 2000, 8000, 32000}
+	prows := [][]string{append([]string{"cache rows"}, append(memtier.PolicyNames(), "analytic")...)}
+	for _, c := range caps {
+		row := []string{fmt.Sprintf("%d", c)}
+		for _, name := range memtier.PolicyNames() {
+			p, err := memtier.NewPolicy(name, c)
+			if err != nil {
+				return Result{}, err
+			}
+			row = append(row, metrics.F2(memtier.Replay(p, stream)))
+		}
+		row = append(row, metrics.F2(memtier.EstimateHitRate(demand, c)))
+		prows = append(prows, row)
+	}
+	b.WriteString("\nEviction policies on a recorded trace (hit rate by cache rows):\n\n")
+	b.WriteString(metrics.Table(prows))
+
+	note := "MTrainS (arXiv:2305.01515) stages DLRM embeddings across heterogeneous\n" +
+		"memories; the paper's SIII-A2 skew is what makes a small HBM cache absorb\n" +
+		"a large lookup share. Modeled: the tiered plan beats the remote-PS\n" +
+		"baseline, and throughput rises with cache capacity until the resident\n" +
+		"HBM share shrinks enough to offset further hit-rate gains. The analytic\n" +
+		"estimator tracks the replayed frequency-aware policies (it upper-bounds\n" +
+		"LRU/CLOCK, approaches LFU)."
+	return Result{Output: b.String(), PaperNote: note}, nil
+}

@@ -67,6 +67,9 @@ type Platform struct {
 	PCIe Interconnect
 	// NIC is the network channel of the server.
 	NIC Interconnect
+	// NVM optionally overrides the platform's non-volatile storage tier
+	// (see MemoryTiers); nil selects the default NVMe spec.
+	NVM *MemTier
 	// PowerUnits is provisioned power relative to the dual-socket CPU
 	// server (= 1.0). The paper states Big Basin requires 7.3× (§V-A).
 	PowerUnits float64

@@ -1,0 +1,134 @@
+package hw
+
+import "fmt"
+
+// MemTierKind orders the levels of the embedding memory hierarchy from
+// fastest/smallest to slowest/largest. The hierarchy mirrors MTrainS's
+// staging of DLRM embeddings across heterogeneous memories: accelerator
+// HBM, host DRAM, the DRAM of remote parameter-server nodes, and block
+// storage (NVM/SSD).
+type MemTierKind int
+
+const (
+	// TierHBM is accelerator high-bandwidth memory.
+	TierHBM MemTierKind = iota
+	// TierLocalDRAM is the training server's host DRAM.
+	TierLocalDRAM
+	// TierRemoteDRAM is DRAM on remote parameter-server nodes, reached
+	// over the network.
+	TierRemoteDRAM
+	// TierNVM is local non-volatile storage (NVMe SSD).
+	TierNVM
+)
+
+// String implements fmt.Stringer.
+func (k MemTierKind) String() string {
+	switch k {
+	case TierHBM:
+		return "HBM"
+	case TierLocalDRAM:
+		return "LocalDRAM"
+	case TierRemoteDRAM:
+		return "RemoteDRAM"
+	case TierNVM:
+		return "NVM"
+	default:
+		return fmt.Sprintf("MemTierKind(%d)", int(k))
+	}
+}
+
+// MemTier describes one level of a platform's embedding memory hierarchy:
+// raw capacity, aggregate bandwidth, and per-access base latency. Like the
+// rest of this package it states what the hardware offers; achievable
+// fractions (random-access derating, protocol efficiency) live in
+// perfmodel's Calibration.
+type MemTier struct {
+	Kind MemTierKind
+	Name string
+	// CapacityBytes is the raw capacity of the tier.
+	CapacityBytes int64
+	// BandwidthBps is the aggregate bytes/second the tier can stream to
+	// the consumer (for remote tiers, the trainer-side network path).
+	BandwidthBps float64
+	// LatencySec is the base latency of one access/request.
+	LatencySec float64
+}
+
+// String renders a catalog row.
+func (t MemTier) String() string {
+	return fmt.Sprintf("%s(%s): %s @ %.0f GB/s, %.1f us",
+		t.Name, t.Kind, humanBytes(t.CapacityBytes), t.BandwidthBps/1e9, t.LatencySec*1e6)
+}
+
+func humanBytes(b int64) string {
+	switch {
+	case b >= 1<<40:
+		return fmt.Sprintf("%.1fTB", float64(b)/(1<<40))
+	case b >= 1<<30:
+		return fmt.Sprintf("%.0fGB", float64(b)/(1<<30))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// defaultNVM returns the NVMe spec assumed for platforms that do not
+// declare one: a 4 TB enterprise drive, ~3.2 GB/s sustained read, ~90 us
+// access latency — the block-storage tier of the MTrainS hierarchy.
+func defaultNVM() MemTier {
+	return MemTier{
+		Kind:          TierNVM,
+		Name:          "NVMe-SSD",
+		CapacityBytes: 4 * tb,
+		BandwidthBps:  3.2e9,
+		LatencySec:    90e-6,
+	}
+}
+
+// DefaultRemotePS is the parameter-server fleet size assumed for the
+// remote-DRAM tier when the caller does not request one; it matches the
+// minimum fleet placement.Fit auto-sizes for RemoteCPU.
+const DefaultRemotePS = 8
+
+// MemoryTiers returns the platform's embedding memory hierarchy ordered
+// fastest to slowest. remotePS sizes the remote-DRAM tier in
+// dual-socket parameter-server nodes; pass 0 for DefaultRemotePS.
+// CPU-only platforms have no HBM tier; every platform gets an NVM tier
+// (the Platform.NVM override, or a default 4 TB NVMe).
+func (p Platform) MemoryTiers(remotePS int) []MemTier {
+	if remotePS <= 0 {
+		remotePS = DefaultRemotePS
+	}
+	var tiers []MemTier
+	if p.IsGPU() {
+		tiers = append(tiers, MemTier{
+			Kind:          TierHBM,
+			Name:          p.GPU.Name + "-HBM",
+			CapacityBytes: p.TotalGPUMemory(),
+			BandwidthBps:  float64(p.NumGPUs) * p.GPU.MemBW,
+			LatencySec:    0.5e-6,
+		})
+	}
+	tiers = append(tiers, MemTier{
+		Kind:          TierLocalDRAM,
+		Name:          "HostDRAM",
+		CapacityBytes: p.CPU.MemCapacity,
+		BandwidthBps:  p.CPU.MemBW(),
+		LatencySec:    0.1e-6,
+	})
+	ps := DualSocketCPU()
+	tiers = append(tiers, MemTier{
+		Kind:          TierRemoteDRAM,
+		Name:          fmt.Sprintf("RemoteDRAM-x%d", remotePS),
+		CapacityBytes: int64(remotePS) * ps.CPU.MemCapacity,
+		// The trainer reaches remote DRAM through its own NIC; the PS
+		// fleet's aggregate DRAM is effectively never the tighter pipe.
+		BandwidthBps: p.NIC.BandwidthBps,
+		LatencySec:   p.NIC.LatencySec + ps.NIC.LatencySec,
+	})
+	nvm := defaultNVM()
+	if p.NVM != nil {
+		nvm = *p.NVM
+	}
+	tiers = append(tiers, nvm)
+	return tiers
+}

@@ -1,0 +1,78 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMemoryTiersOrderedAndComplete(t *testing.T) {
+	for _, p := range Platforms() {
+		tiers := p.MemoryTiers(0)
+		if p.IsGPU() {
+			if len(tiers) != 4 || tiers[0].Kind != TierHBM {
+				t.Fatalf("%s: tiers %v", p.Name, tiers)
+			}
+		} else {
+			if len(tiers) != 3 || tiers[0].Kind != TierLocalDRAM {
+				t.Fatalf("%s: tiers %v", p.Name, tiers)
+			}
+		}
+		for i := 1; i < len(tiers); i++ {
+			if tiers[i].Kind <= tiers[i-1].Kind {
+				t.Errorf("%s: tier kinds not strictly ordered: %v", p.Name, tiers)
+			}
+		}
+		// The top tier must be the fastest; below it ordering is by
+		// kind (a local NVMe can out-stream a slow NIC).
+		for i := 1; i < len(tiers); i++ {
+			if tiers[i].BandwidthBps >= tiers[0].BandwidthBps {
+				t.Errorf("%s: tier %s bandwidth %.0f not below top tier",
+					p.Name, tiers[i].Name, tiers[i].BandwidthBps)
+			}
+		}
+		last := tiers[len(tiers)-1]
+		if last.Kind != TierNVM || last.CapacityBytes < tb {
+			t.Errorf("%s: NVM tier %v", p.Name, last)
+		}
+	}
+}
+
+func TestMemoryTiersRemotePSScaling(t *testing.T) {
+	bb := BigBasin()
+	t8 := bb.MemoryTiers(8)
+	t16 := bb.MemoryTiers(16)
+	if t16[2].CapacityBytes != 2*t8[2].CapacityBytes {
+		t.Errorf("remote tier capacity must scale with PS count: %d vs %d",
+			t8[2].CapacityBytes, t16[2].CapacityBytes)
+	}
+	if t8[2].Kind != TierRemoteDRAM {
+		t.Errorf("third GPU tier should be remote DRAM, got %v", t8[2].Kind)
+	}
+}
+
+func TestMemTierStringers(t *testing.T) {
+	kinds := []MemTierKind{TierHBM, TierLocalDRAM, TierRemoteDRAM, TierNVM}
+	names := []string{"HBM", "LocalDRAM", "RemoteDRAM", "NVM"}
+	for i, k := range kinds {
+		if k.String() != names[i] {
+			t.Errorf("kind %d = %q", i, k.String())
+		}
+	}
+	if !strings.Contains(MemTierKind(42).String(), "42") {
+		t.Error("unknown kind should render its number")
+	}
+	s := BigBasin().MemoryTiers(0)[0].String()
+	if !strings.Contains(s, "HBM") || !strings.Contains(s, "GB/s") {
+		t.Errorf("tier string %q", s)
+	}
+}
+
+func TestPlatformNVMOverride(t *testing.T) {
+	p := BigBasin()
+	custom := MemTier{Kind: TierNVM, Name: "CustomNVM", CapacityBytes: 8 * tb, BandwidthBps: 6e9, LatencySec: 20e-6}
+	p.NVM = &custom
+	tiers := p.MemoryTiers(0)
+	if got := tiers[len(tiers)-1]; got != custom {
+		t.Errorf("NVM override ignored: %v", got)
+	}
+}

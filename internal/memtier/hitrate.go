@@ -1,0 +1,264 @@
+package memtier
+
+import (
+	"math"
+	"sort"
+)
+
+// DefaultSkew is the Zipf exponent assumed for embedding-row popularity
+// when no trace exists. It matches the synthetic data generator's
+// IndexSkew, which in turn encodes the paper's §III-A2 power-law
+// characterization.
+const DefaultSkew = 1.2
+
+// TableDemand describes one table's access demand for analytic hit-rate
+// estimation: how big it is, how often it is looked up, and how its
+// per-row popularity is distributed (a recorded trace, or a fitted power
+// law when none exists).
+type TableDemand struct {
+	// Rows is the table's hash size.
+	Rows int
+	// Accesses is the table's relative access rate — traced totals, or
+	// the configured mean pooled length. Only ratios between tables
+	// matter.
+	Accesses float64
+	// Counts optionally carries traced per-row access counts sorted
+	// descending (trace.Collector row frequencies). When nil the
+	// popularity is modeled as Zipf(Skew) over Rows rows.
+	Counts []uint64
+	// Skew is the Zipf exponent used when Counts is nil; <= 0 selects
+	// DefaultSkew.
+	Skew float64
+}
+
+// demandDist is the per-table popularity abstraction the stacked
+// estimator works over: rank(q) counts rows whose per-access share is at
+// least q, cdf(k) is the access mass of the hottest k rows.
+type demandDist interface {
+	rows() float64
+	rank(share float64) float64
+	cdf(rows float64) float64
+	maxShare() float64
+}
+
+// ---- Zipf popularity ----
+
+// zipfExactPrefix bounds the exact harmonic prefix; tails use the
+// integral approximation, which is accurate to <0.1% past this rank.
+const zipfExactPrefix = 1024
+
+type zipfDist struct {
+	s      float64
+	n      float64
+	prefix []float64 // prefix[k] = sum_{i=1..k} i^-s for k <= zipfExactPrefix
+	total  float64   // H(n, s)
+}
+
+func newZipfDist(s float64, n int) *zipfDist {
+	if s <= 0 {
+		s = DefaultSkew
+	}
+	z := &zipfDist{s: s, n: float64(n)}
+	m := n
+	if m > zipfExactPrefix {
+		m = zipfExactPrefix
+	}
+	z.prefix = make([]float64, m+1)
+	for k := 1; k <= m; k++ {
+		z.prefix[k] = z.prefix[k-1] + math.Pow(float64(k), -s)
+	}
+	z.total = z.mass(z.n)
+	return z
+}
+
+// mass returns H(k, s) = sum_{i=1..k} i^-s, k clamped to [0, n].
+func (z *zipfDist) mass(k float64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k > z.n {
+		k = z.n
+	}
+	if k <= float64(len(z.prefix)-1) {
+		return z.prefix[int(k)]
+	}
+	// Exact prefix plus midpoint-rule integral tail.
+	m := float64(len(z.prefix) - 1)
+	a, b := m+0.5, k+0.5
+	if z.s == 1 {
+		return z.prefix[len(z.prefix)-1] + math.Log(b/a)
+	}
+	return z.prefix[len(z.prefix)-1] + (math.Pow(b, 1-z.s)-math.Pow(a, 1-z.s))/(1-z.s)
+}
+
+func (z *zipfDist) rows() float64 { return z.n }
+
+func (z *zipfDist) maxShare() float64 { return 1 / z.total }
+
+// rank inverts the popularity: rows with share k^-s/H(n,s) >= q.
+func (z *zipfDist) rank(share float64) float64 {
+	if share <= 0 {
+		return z.n
+	}
+	k := math.Pow(share*z.total, -1/z.s)
+	if k > z.n {
+		return z.n
+	}
+	return math.Floor(k)
+}
+
+func (z *zipfDist) cdf(rows float64) float64 {
+	if z.total == 0 {
+		return 0
+	}
+	return z.mass(rows) / z.total
+}
+
+// ---- traced popularity ----
+
+type countsDist struct {
+	counts []uint64
+	pre    []float64 // prefix sums
+	n      float64   // total rows including never-touched ones
+	total  float64
+}
+
+func newCountsDist(counts []uint64, rows int) *countsDist {
+	d := &countsDist{counts: counts, n: float64(rows)}
+	if float64(len(counts)) > d.n {
+		d.n = float64(len(counts))
+	}
+	d.pre = make([]float64, len(counts)+1)
+	for i, c := range counts {
+		d.pre[i+1] = d.pre[i] + float64(c)
+	}
+	d.total = d.pre[len(counts)]
+	return d
+}
+
+func (d *countsDist) rows() float64 { return d.n }
+
+func (d *countsDist) maxShare() float64 {
+	if d.total == 0 || len(d.counts) == 0 {
+		return 0
+	}
+	return float64(d.counts[0]) / d.total
+}
+
+func (d *countsDist) rank(share float64) float64 {
+	if d.total == 0 {
+		return 0
+	}
+	threshold := share * d.total
+	// counts sorted descending: first index with count < threshold.
+	i := sort.Search(len(d.counts), func(i int) bool { return float64(d.counts[i]) < threshold })
+	return float64(i)
+}
+
+func (d *countsDist) cdf(rows float64) float64 {
+	if d.total == 0 {
+		return 0
+	}
+	k := int(rows)
+	if k > len(d.counts) {
+		k = len(d.counts)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return d.pre[k] / d.total
+}
+
+func (t TableDemand) dist() demandDist {
+	if len(t.Counts) > 0 {
+		return newCountsDist(t.Counts, t.Rows)
+	}
+	return newZipfDist(t.Skew, t.Rows)
+}
+
+// HitRateZipf returns the stationary hit rate a frequency-ordered cache of
+// capacityRows achieves over one table of rows Zipf(skew)-popular rows:
+// the access mass of the hottest capacityRows rows, H(C,s)/H(N,s).
+func HitRateZipf(skew float64, rows, capacityRows int) float64 {
+	if rows <= 0 || capacityRows <= 0 {
+		return 0
+	}
+	if capacityRows >= rows {
+		return 1
+	}
+	return newZipfDist(skew, rows).cdf(float64(capacityRows))
+}
+
+// HitRateFromCounts returns the stationary hit rate for one table from
+// traced per-row access counts sorted descending: the share of accesses
+// absorbed by the capacityRows most popular rows.
+func HitRateFromCounts(counts []uint64, capacityRows int) float64 {
+	if capacityRows <= 0 || len(counts) == 0 {
+		return 0
+	}
+	if !sortedDesc(counts) {
+		sorted := append([]uint64(nil), counts...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+		counts = sorted
+	}
+	return newCountsDist(counts, len(counts)).cdf(float64(capacityRows))
+}
+
+// EstimateHitRate returns the stationary hit rate a shared cache of
+// capacityRows rows achieves over the combined access stream of the given
+// tables. It assumes the cache converges to holding the globally hottest
+// rows (true for LFU, a close upper bound for LRU/CLOCK under stationary
+// Zipf traffic): a per-row access-rate threshold is found by bisection
+// such that exactly capacityRows rows exceed it, and the hit rate is the
+// access mass above the threshold.
+func EstimateHitRate(tables []TableDemand, capacityRows int) float64 {
+	if capacityRows <= 0 || len(tables) == 0 {
+		return 0
+	}
+	dists := make([]demandDist, 0, len(tables))
+	weights := make([]float64, 0, len(tables))
+	var totalRows, totalAccess, maxRate float64
+	for _, t := range tables {
+		if t.Rows <= 0 || t.Accesses <= 0 {
+			continue
+		}
+		d := t.dist()
+		dists = append(dists, d)
+		weights = append(weights, t.Accesses)
+		totalRows += d.rows()
+		totalAccess += t.Accesses
+		if r := t.Accesses * d.maxShare(); r > maxRate {
+			maxRate = r
+		}
+	}
+	if len(dists) == 0 || totalAccess == 0 {
+		return 0
+	}
+	if float64(capacityRows) >= totalRows {
+		return 1
+	}
+	// Rows cached at absolute-rate threshold λ: rows whose table-local
+	// share exceeds λ/accesses_i. Decreasing in λ; bisect in log space.
+	cached := func(lambda float64) float64 {
+		var n float64
+		for i, d := range dists {
+			n += d.rank(lambda / weights[i])
+		}
+		return n
+	}
+	lo, hi := maxRate*1e-18, maxRate
+	for i := 0; i < 64; i++ {
+		mid := math.Sqrt(lo * hi)
+		if cached(mid) > float64(capacityRows) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	lambda := math.Sqrt(lo * hi)
+	var hit float64
+	for i, d := range dists {
+		hit += weights[i] * d.cdf(d.rank(lambda/weights[i]))
+	}
+	return hit / totalAccess
+}

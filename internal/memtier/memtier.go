@@ -1,0 +1,302 @@
+// Package memtier models a tiered embedding-memory subsystem: a memory
+// hierarchy (accelerator HBM, host DRAM, remote DRAM, NVM block storage —
+// the MTrainS staging levels), hot-row caching on top of it with pluggable
+// eviction policies (LRU, LFU, CLOCK), and trace-driven tier assignment
+// that exploits the power-law access skew the paper characterizes in
+// §III-A2 (Fig 6/7: "the skew creates caching opportunities").
+//
+// The trace package measures that skew; this package turns it into an
+// optimization: given per-table (optionally per-row) access frequencies it
+// pins hot tables high in the hierarchy, reserves leftover HBM as a
+// hot-row cache for spilled tables, and estimates per-tier hit rates
+// either from recorded traces or from a fitted power law when no trace
+// exists. The placement package exposes the result as the Tiered strategy
+// and perfmodel prices lookups by per-tier hit rate × bandwidth/latency.
+package memtier
+
+import (
+	"container/heap"
+	"container/list"
+	"fmt"
+	"sort"
+)
+
+// Key packs a (table, row) pair into the cache key space shared by all
+// eviction policies.
+func Key(feature int, row int32) uint64 {
+	return uint64(feature)<<32 | uint64(uint32(row))
+}
+
+// Policy is a fixed-capacity cache eviction policy over (table, row) keys.
+// Access touches a key and reports whether it was resident; a miss inserts
+// the key, evicting per policy when full.
+type Policy interface {
+	// Name identifies the policy ("lru", "lfu", "clock").
+	Name() string
+	// Capacity is the maximum number of resident rows.
+	Capacity() int
+	// Len is the current number of resident rows.
+	Len() int
+	// Access touches key and reports whether it hit.
+	Access(key uint64) bool
+	// Stats returns accumulated hits and misses.
+	Stats() (hits, misses uint64)
+	// Reset empties the cache and clears the counters.
+	Reset()
+}
+
+// HitRate returns hits/(hits+misses) for a policy, 0 when untouched.
+func HitRate(p Policy) float64 {
+	h, m := p.Stats()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// PolicyNames lists the available eviction policies.
+func PolicyNames() []string { return []string{"lru", "lfu", "clock"} }
+
+// NewPolicy constructs a policy by name.
+func NewPolicy(name string, capacity int) (Policy, error) {
+	switch name {
+	case "lru":
+		return NewLRU(capacity), nil
+	case "lfu":
+		return NewLFU(capacity), nil
+	case "clock":
+		return NewCLOCK(capacity), nil
+	default:
+		return nil, fmt.Errorf("memtier: unknown policy %q (have lru, lfu, clock)", name)
+	}
+}
+
+func checkCapacity(capacity int) {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("memtier: cache capacity %d", capacity))
+	}
+}
+
+// ---- LRU ----
+
+// LRU evicts the least-recently-used row. This is the canonical row-cache
+// simulator the trace package's §III-A2 caching-opportunity analysis uses.
+type LRU struct {
+	capacity int
+	ll       *list.List
+	items    map[uint64]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+// NewLRU creates an LRU cache holding capacity rows.
+func NewLRU(capacity int) *LRU {
+	checkCapacity(capacity)
+	return &LRU{capacity: capacity, ll: list.New(), items: make(map[uint64]*list.Element)}
+}
+
+// Name implements Policy.
+func (c *LRU) Name() string { return "lru" }
+
+// Capacity implements Policy.
+func (c *LRU) Capacity() int { return c.capacity }
+
+// Len implements Policy.
+func (c *LRU) Len() int { return c.ll.Len() }
+
+// Stats implements Policy.
+func (c *LRU) Stats() (uint64, uint64) { return c.hits, c.misses }
+
+// Reset implements Policy.
+func (c *LRU) Reset() {
+	c.ll = list.New()
+	c.items = make(map[uint64]*list.Element)
+	c.hits, c.misses = 0, 0
+}
+
+// Access implements Policy.
+func (c *LRU) Access(key uint64) bool {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return true
+	}
+	c.misses++
+	c.items[key] = c.ll.PushFront(key)
+	if c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(uint64))
+	}
+	return false
+}
+
+// ---- LFU ----
+
+type lfuEntry struct {
+	key   uint64
+	count uint64
+	seq   uint64 // insertion/last-touch order breaks frequency ties (older first)
+	index int
+}
+
+type lfuHeap []*lfuEntry
+
+func (h lfuHeap) Len() int { return len(h) }
+func (h lfuHeap) Less(i, j int) bool {
+	if h[i].count != h[j].count {
+		return h[i].count < h[j].count
+	}
+	return h[i].seq < h[j].seq
+}
+func (h lfuHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *lfuHeap) Push(x any) {
+	e := x.(*lfuEntry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *lfuHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// LFU evicts the least-frequently-used row (ties broken oldest-first).
+// Under the stationary Zipf popularity of embedding rows it approaches the
+// frequency-optimal cache the analytic estimators assume.
+type LFU struct {
+	capacity int
+	heap     lfuHeap
+	items    map[uint64]*lfuEntry
+	seq      uint64
+	hits     uint64
+	misses   uint64
+}
+
+// NewLFU creates an LFU cache holding capacity rows.
+func NewLFU(capacity int) *LFU {
+	checkCapacity(capacity)
+	return &LFU{capacity: capacity, items: make(map[uint64]*lfuEntry)}
+}
+
+// Name implements Policy.
+func (c *LFU) Name() string { return "lfu" }
+
+// Capacity implements Policy.
+func (c *LFU) Capacity() int { return c.capacity }
+
+// Len implements Policy.
+func (c *LFU) Len() int { return len(c.items) }
+
+// Stats implements Policy.
+func (c *LFU) Stats() (uint64, uint64) { return c.hits, c.misses }
+
+// Reset implements Policy.
+func (c *LFU) Reset() {
+	c.heap = nil
+	c.items = make(map[uint64]*lfuEntry)
+	c.seq, c.hits, c.misses = 0, 0, 0
+}
+
+// Access implements Policy.
+func (c *LFU) Access(key uint64) bool {
+	c.seq++
+	if e, ok := c.items[key]; ok {
+		e.count++
+		heap.Fix(&c.heap, e.index)
+		c.hits++
+		return true
+	}
+	c.misses++
+	if len(c.items) >= c.capacity {
+		evicted := heap.Pop(&c.heap).(*lfuEntry)
+		delete(c.items, evicted.key)
+	}
+	e := &lfuEntry{key: key, count: 1, seq: c.seq}
+	heap.Push(&c.heap, e)
+	c.items[key] = e
+	return false
+}
+
+// ---- CLOCK ----
+
+type clockSlot struct {
+	key uint64
+	ref bool
+}
+
+// CLOCK is the second-chance approximation of LRU: a circular buffer of
+// slots with reference bits and a sweeping hand. It trades a little hit
+// rate for O(1) state per row and no list maintenance — the shape a real
+// HBM row cache would use.
+type CLOCK struct {
+	capacity int
+	slots    []clockSlot
+	index    map[uint64]int
+	hand     int
+	hits     uint64
+	misses   uint64
+}
+
+// NewCLOCK creates a CLOCK cache holding capacity rows.
+func NewCLOCK(capacity int) *CLOCK {
+	checkCapacity(capacity)
+	return &CLOCK{capacity: capacity, index: make(map[uint64]int)}
+}
+
+// Name implements Policy.
+func (c *CLOCK) Name() string { return "clock" }
+
+// Capacity implements Policy.
+func (c *CLOCK) Capacity() int { return c.capacity }
+
+// Len implements Policy.
+func (c *CLOCK) Len() int { return len(c.slots) }
+
+// Stats implements Policy.
+func (c *CLOCK) Stats() (uint64, uint64) { return c.hits, c.misses }
+
+// Reset implements Policy.
+func (c *CLOCK) Reset() {
+	c.slots = nil
+	c.index = make(map[uint64]int)
+	c.hand, c.hits, c.misses = 0, 0, 0
+}
+
+// Access implements Policy.
+func (c *CLOCK) Access(key uint64) bool {
+	if i, ok := c.index[key]; ok {
+		c.slots[i].ref = true
+		c.hits++
+		return true
+	}
+	c.misses++
+	if len(c.slots) < c.capacity {
+		c.index[key] = len(c.slots)
+		c.slots = append(c.slots, clockSlot{key: key, ref: true})
+		return false
+	}
+	// Sweep: clear reference bits until an unreferenced victim appears.
+	for c.slots[c.hand].ref {
+		c.slots[c.hand].ref = false
+		c.hand = (c.hand + 1) % c.capacity
+	}
+	victim := c.hand
+	delete(c.index, c.slots[victim].key)
+	c.slots[victim] = clockSlot{key: key, ref: true}
+	c.index[key] = victim
+	c.hand = (victim + 1) % c.capacity
+	return false
+}
+
+// sortedDesc reports whether counts are sorted descending, the invariant
+// trace-derived profiles must satisfy.
+func sortedDesc(counts []uint64) bool {
+	return sort.SliceIsSorted(counts, func(i, j int) bool { return counts[i] > counts[j] })
+}

@@ -104,6 +104,10 @@ type Calibration struct {
 	// must bounce through host memory when no GPU fabric exists (the
 	// Zion prototype): serialization, extra copies, and no overlap.
 	HostBounceFactor float64
+	// NVMRandEff derates NVM/SSD bandwidth for random embedding-row
+	// reads in the tiered hierarchy's block-storage tier (queue-depth
+	// parallelism keeps 4K random reads at roughly half of sequential).
+	NVMRandEff float64
 }
 
 // DefaultCalibration returns the constants used throughout the
@@ -136,5 +140,6 @@ func DefaultCalibration() Calibration {
 		RemoteRTTSec:         1e-4,
 		PSDRAMEff:            0.060,
 		HostBounceFactor:     1.43,
+		NVMRandEff:           0.55,
 	}
 }

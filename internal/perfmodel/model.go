@@ -237,6 +237,80 @@ func estimateGPU(s Scenario) (Breakdown, error) {
 		bd.Host += streamTime(netBytes, hostRPC, 1) +
 			streamTime(2*tr.pooledBytes, g*p.PCIe.BandwidthBps, cal.PCIeEff)
 
+	case placement.Tiered:
+		// Per-tier composition: each tier serves its assignment's
+		// lookup fraction at its own bandwidth/latency; the HBM share
+		// (resident hot tables plus hot-row cache hits) behaves like
+		// GPUMemory, spilled shares like SystemMemory / RemoteCPU /
+		// block storage. When everything fits the top tier this prices
+		// identically to GPUMemory.
+		asg := s.Plan.Tiered
+		if asg == nil {
+			return Breakdown{}, fmt.Errorf("perfmodel: tiered plan carries no memtier assignment")
+		}
+		embGPUs := float64(s.Plan.EmbGPUs)
+		if embGPUs < 1 {
+			embGPUs = 1
+		}
+		hot := s.Plan.HotFraction
+		var spillPooled float64 // pooled-activation share produced on the host side
+		for _, tl := range asg.Tiers {
+			frac := tl.LookupFraction
+			if frac <= 0 {
+				continue
+			}
+			switch tl.Tier.Kind {
+			case hw.TierHBM:
+				geff := gpuRandEff(cal, float64(s.Plan.GPUBytes)/embGPUs)
+				bd.EmbLookup += streamTime(frac*embBytes, embGPUs*p.GPU.MemBW, geff)
+			case hw.TierLocalDRAM:
+				bd.EmbLookup += streamTime(frac*embBytes, p.CPU.MemBW(), cal.CPURandEff)
+				spillPooled += frac
+			case hw.TierRemoteDRAM:
+				ps := float64(s.Plan.RemotePS)
+				if ps < 1 {
+					ps = 1
+				}
+				netBytes := frac * (tr.indexBytes + 2*tr.pooledBytes)
+				bd.EmbLookup += psServiceTime(frac*embBytes, netBytes, ps, hw.DualSocketCPU(), cal)
+				bd.Net += streamTime(netBytes, p.NIC.BandwidthBps, cal.NetEff) +
+					float64(len(tl.Tables))*cal.RemoteRTTSec + 2*ps*p.NIC.LatencySec
+				bd.Host += streamTime(netBytes, hostRPC, 1)
+				spillPooled += frac
+			case hw.TierNVM:
+				bd.EmbLookup += streamTime(frac*embBytes, tl.Tier.BandwidthBps, cal.NVMRandEff) +
+					float64(len(tl.Tables))*tl.Tier.LatencySec
+				spillPooled += frac
+			}
+		}
+		// Pooled exchange: the HBM-served share runs the sharded
+		// all-to-all exactly as GPUMemory; spilled shares pool on the
+		// host and cross PCIe like SystemMemory.
+		spread := 1 + cal.AllToAllSpread*(embGPUs-1)
+		if p.HasNVLink() {
+			commHot := 2 * hot * tr.pooledBytes * (g - 1) / g
+			bd.Comm = streamTime(commHot, p.NVLink.BandwidthBps*embGPUs, cal.NVLinkEff) * spread
+		} else {
+			pcieAgg := g * p.PCIe.BandwidthBps
+			bd.Comm = cal.HostBounceFactor * (streamTime(2*2*hot*tr.pooledBytes, pcieAgg, cal.PCIeEff) +
+				streamTime(2*2*hot*tr.pooledBytes, hostStage, 1))
+		}
+		if embGPUs > 1 {
+			chunks := math.Ceil(float64(s.Batch) / 2048)
+			bd.Comm += 2 * float64(s.Cfg.NumSparse()) * embGPUs * chunks * cal.KernelLaunchSec
+		}
+		if spillPooled > 0 {
+			pcieAgg := math.Min(g*p.PCIe.BandwidthBps, p.CPU.MemBW()/2)
+			bd.Comm += streamTime(2*spillPooled*tr.pooledBytes, pcieAgg, cal.PCIeEff)
+			bd.Host += streamTime(2*spillPooled*tr.pooledBytes, hostStage, 1)
+		}
+		// Cache fills: misses on spilled tables stream their rows up
+		// into the HBM hot-row cache (forward direction only).
+		if asg.CacheRows > 0 {
+			fill := asg.SpilledShare() * (1 - asg.CacheHitRate) * tr.lookupBytes
+			bd.Host += streamTime(fill, g*p.PCIe.BandwidthBps, cal.PCIeEff)
+		}
+
 	case placement.Hybrid:
 		// Weighted mix: the hot fraction behaves like GPUMemory, the
 		// remainder like SystemMemory.
@@ -345,12 +419,15 @@ func bottleneckName(bd Breakdown) string {
 }
 
 // BestPlacement evaluates the paper's three production placement
-// strategies (GPU memory, system memory, remote CPU — §IV-B1) for the
-// config on the platform and returns the fastest feasible plan with its
-// breakdown. Use BestPlacementAmong to include the Hybrid extension.
+// strategies (GPU memory, system memory, remote CPU — §IV-B1) plus the
+// tiered-memory extension for the config on the platform and returns the
+// fastest feasible plan with its breakdown. Tiered is evaluated last and
+// ties break toward the flat strategies, so it only wins when staging
+// across the hierarchy is strictly faster (e.g. models that overflow
+// HBM). Use BestPlacementAmong to restrict or extend the candidate set.
 func BestPlacement(cfg core.Config, platform hw.Platform, batch int, cal Calibration) (placement.Plan, Breakdown, error) {
 	return BestPlacementAmong(cfg, platform, batch, cal,
-		[]placement.Strategy{placement.GPUMemory, placement.SystemMemory, placement.RemoteCPU})
+		[]placement.Strategy{placement.GPUMemory, placement.SystemMemory, placement.RemoteCPU, placement.Tiered})
 }
 
 // BestPlacementAmong is BestPlacement restricted to the given strategies.

@@ -1,0 +1,101 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/memtier"
+	"repro/internal/placement"
+	"repro/internal/workload"
+)
+
+func memtierOptions(cacheFraction float64) memtier.AssignOptions {
+	return memtier.AssignOptions{CacheFraction: cacheFraction}
+}
+
+// TestTieredDegeneratesToGPUMemoryWhenFitting pins the design invariant
+// that lets BestPlacement include Tiered without disturbing the paper's
+// choices: a model whose tables fit HBM prices identically under both.
+func TestTieredDegeneratesToGPUMemoryWhenFitting(t *testing.T) {
+	cfg := workload.DefaultTestSuite(1024, 16)
+	flat := gpuThroughput(t, cfg, hw.BigBasin(), 1600, placement.GPUMemory, 0)
+	tiered := gpuThroughput(t, cfg, hw.BigBasin(), 1600, placement.Tiered, 0)
+	if math.Abs(flat.IterTime-tiered.IterTime) > 1e-12*flat.IterTime {
+		t.Errorf("fitting model: tiered iter %v != flat iter %v", tiered.IterTime, flat.IterTime)
+	}
+	if math.Abs(flat.EmbLookup-tiered.EmbLookup) > 1e-12*flat.EmbLookup {
+		t.Errorf("fitting model: tiered EmbLookup %v != flat %v", tiered.EmbLookup, flat.EmbLookup)
+	}
+}
+
+// TestTieredDiffersFromFlatOnOverflow is the acceptance scenario: on a
+// model that overflows Big Basin's HBM, the tiered plan must price the
+// embedding path differently from the feasible flat plan (RemoteCPU) and
+// beat it — the caching opportunity of §III-A2 turned into throughput.
+func TestTieredDiffersFromFlatOnOverflow(t *testing.T) {
+	m3 := workload.M3Prod()
+	flat := gpuThroughput(t, m3, hw.BigBasin(), 800, placement.RemoteCPU, 8)
+	tiered := gpuThroughput(t, m3, hw.BigBasin(), 800, placement.Tiered, 0)
+	if tiered.EmbLookup == flat.EmbLookup {
+		t.Error("tiered and remote plans must price EmbLookup differently")
+	}
+	if tiered.Bottleneck == flat.Bottleneck && tiered.EmbLookup == flat.EmbLookup {
+		t.Errorf("tiered breakdown indistinguishable from flat: %+v vs %+v", tiered, flat)
+	}
+	if tiered.Throughput <= flat.Throughput {
+		t.Errorf("tiered (%v ex/s) must beat remote-PS placement (%v ex/s) for M3prod",
+			tiered.Throughput, flat.Throughput)
+	}
+}
+
+func TestTieredRequiresAssignment(t *testing.T) {
+	cfg := workload.DefaultTestSuite(64, 4)
+	plan := placement.Plan{Strategy: placement.Tiered, Platform: hw.BigBasin()}
+	if _, err := Estimate(Scenario{Cfg: cfg, Platform: hw.BigBasin(), Batch: 100, Plan: plan}); err == nil {
+		t.Error("tiered plan without an assignment must be rejected")
+	}
+}
+
+func TestBestPlacementPicksTieredForOverflowModel(t *testing.T) {
+	// M3prod on Big Basin: flat strategies leave only RemoteCPU; the
+	// tiered hierarchy (HBM + host DRAM + hot-row cache) must win.
+	plan, bd, err := BestPlacement(workload.M3Prod(), hw.BigBasin(), 800, DefaultCalibration())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Strategy != placement.Tiered {
+		t.Errorf("best placement for M3prod on BigBasin = %v, want Tiered", plan.Strategy)
+	}
+	if bd.Throughput <= 0 {
+		t.Error("zero throughput")
+	}
+}
+
+// TestTieredCacheLiftsThroughput sweeps the hot-row cache fraction and
+// checks the MTrainS-style effect: more cache -> higher hit rate ->
+// higher modeled throughput, on a model that spills.
+func TestTieredCacheLiftsThroughput(t *testing.T) {
+	m3 := workload.M3Prod()
+	var prevHit, prevThpt float64
+	for i, frac := range []float64{-1, 0.05, 0.15, 0.30} {
+		plan, err := placement.FitTiered(m3, hw.BigBasin(), placement.TieredOptions{
+			Assign: memtierOptions(frac),
+		})
+		if err != nil {
+			t.Fatalf("cache fraction %v: %v", frac, err)
+		}
+		bd, err := Estimate(Scenario{Cfg: m3, Platform: hw.BigBasin(), Batch: 800, Plan: plan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hit := plan.Tiered.CacheHitRate
+		if i > 0 && hit+1e-9 < prevHit {
+			t.Errorf("cache fraction %v: hit rate fell %v -> %v", frac, prevHit, hit)
+		}
+		if i > 0 && frac > 0 && bd.Throughput < prevThpt*0.98 {
+			t.Errorf("cache fraction %v: throughput regressed %v -> %v", frac, prevThpt, bd.Throughput)
+		}
+		prevHit, prevThpt = hit, bd.Throughput
+	}
+}

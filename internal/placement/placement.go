@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hw"
+	"repro/internal/memtier"
 )
 
 // Strategy enumerates the placement options of Fig 8.
@@ -28,6 +29,11 @@ const (
 	// Hybrid places the hottest tables that fit on GPU HBM and spills
 	// the rest to host DRAM.
 	Hybrid
+	// Tiered stages tables across the platform's full memory hierarchy
+	// (HBM, host DRAM, remote DRAM, NVM) hottest-first and reserves
+	// leftover HBM as a hot-row cache — the memtier subsystem's
+	// trace-driven extension of Hybrid.
+	Tiered
 )
 
 // String implements fmt.Stringer.
@@ -41,6 +47,8 @@ func (s Strategy) String() string {
 		return "RemoteCPU"
 	case Hybrid:
 		return "Hybrid"
+	case Tiered:
+		return "Tiered"
 	default:
 		return fmt.Sprintf("Strategy(%d)", int(s))
 	}
@@ -48,7 +56,7 @@ func (s Strategy) String() string {
 
 // Strategies lists all placement options.
 func Strategies() []Strategy {
-	return []Strategy{GPUMemory, SystemMemory, RemoteCPU, Hybrid}
+	return []Strategy{GPUMemory, SystemMemory, RemoteCPU, Hybrid, Tiered}
 }
 
 const (
@@ -78,8 +86,12 @@ type Plan struct {
 	// parameters physically live.
 	GPUBytes, HostBytes, RemoteBytes int64
 	// HotFraction is the fraction of lookups served from GPU HBM
-	// (1.0 for GPUMemory, 0 for SystemMemory/RemoteCPU).
+	// (1.0 for GPUMemory, 0 for SystemMemory/RemoteCPU; for Tiered it
+	// includes hot-row cache hits).
 	HotFraction float64
+	// Tiered carries the full per-tier assignment for the Tiered
+	// strategy (nil otherwise).
+	Tiered *memtier.Assignment
 }
 
 // usableGPUBytes returns packable HBM per device.
@@ -217,8 +229,73 @@ func Fit(cfg core.Config, platform hw.Platform, strategy Strategy, remotePS int)
 			plan.HotFraction = gpuLookups / totalLookups
 		}
 		return plan, nil
+
+	case Tiered:
+		return FitTiered(cfg, platform, TieredOptions{RemotePS: remotePS})
 	}
 	return Plan{}, fmt.Errorf("placement: unknown strategy %v", strategy)
+}
+
+// TieredOptions tune the Tiered strategy beyond what Fit's signature
+// carries: an access profile recorded by the trace package and the
+// memtier planner knobs.
+type TieredOptions struct {
+	// RemotePS sizes the remote-DRAM tier in parameter-server nodes;
+	// 0 selects hw.DefaultRemotePS.
+	RemotePS int
+	// Assign is forwarded to memtier.Assign (trace profile, Zipf skew,
+	// cache fraction, eviction policy).
+	Assign memtier.AssignOptions
+}
+
+// FitTiered constructs the Tiered plan: tables staged across the
+// platform's memory hierarchy hottest-first with a hot-row HBM cache for
+// spilled tables. Unlike the flat strategies it consults per-row access
+// skew (traced, or power-law-fitted) so the plan records how many lookups
+// each tier actually serves.
+func FitTiered(cfg core.Config, platform hw.Platform, opts TieredOptions) (Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return Plan{}, err
+	}
+	if !platform.IsGPU() {
+		return Plan{}, fmt.Errorf("placement: %s has no GPUs for the tiered hierarchy's top tier", platform.Name)
+	}
+	tiers := platform.MemoryTiers(opts.RemotePS)
+	asg, err := memtier.Assign(cfg.TableStats(), tiers, opts.Assign)
+	if err != nil {
+		return Plan{}, fmt.Errorf("placement: %s on %s: %w", cfg.Name, platform.Name, err)
+	}
+	plan := Plan{Strategy: Tiered, Platform: platform, Tiered: &asg}
+	for _, tl := range asg.Tiers {
+		switch tl.Tier.Kind {
+		case hw.TierHBM:
+			plan.GPUBytes = tl.Bytes + asg.CacheBytes
+			plan.GPUTableIdx = append([]int(nil), tl.Tables...)
+		case hw.TierLocalDRAM:
+			plan.HostBytes = tl.Bytes
+			plan.HostTableIdx = append([]int(nil), tl.Tables...)
+		case hw.TierRemoteDRAM:
+			plan.RemoteBytes = tl.Bytes
+			if tl.Bytes > 0 {
+				ps := opts.RemotePS
+				if min := int(ceilDiv(tl.Bytes, usablePSBytes())); ps < min {
+					ps = min
+				}
+				if ps < hw.DefaultRemotePS {
+					ps = hw.DefaultRemotePS
+				}
+				plan.RemotePS = ps
+			}
+		}
+	}
+	if plan.GPUBytes > 0 {
+		plan.EmbGPUs = int(ceilDiv(plan.GPUBytes, usableGPUBytes(platform)))
+		if plan.EmbGPUs > platform.NumGPUs {
+			plan.EmbGPUs = platform.NumGPUs
+		}
+	}
+	plan.HotFraction = asg.TopTierFraction()
+	return plan, nil
 }
 
 // Feasible returns every strategy that fits on the platform, in enum

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hw"
+	"repro/internal/memtier"
 	"repro/internal/workload"
 )
 
@@ -99,7 +100,7 @@ func TestRemoteCPUAutoSizing(t *testing.T) {
 
 func TestGPUPlacementsRejectCPUPlatform(t *testing.T) {
 	cpu := hw.DualSocketCPU()
-	for _, s := range []Strategy{GPUMemory, SystemMemory, Hybrid} {
+	for _, s := range []Strategy{GPUMemory, SystemMemory, Hybrid, Tiered} {
 		if _, err := Fit(smallCfg(), cpu, s, 0); err == nil {
 			t.Errorf("%v placement must fail on a CPU-only platform", s)
 		}
@@ -142,8 +143,8 @@ func TestHybridSplitsByLookupDensity(t *testing.T) {
 
 func TestFeasibleEnumerates(t *testing.T) {
 	plans := Feasible(smallCfg(), hw.BigBasin())
-	if len(plans) != 4 {
-		t.Errorf("small model should fit all 4 strategies on BigBasin, got %d", len(plans))
+	if len(plans) != 5 {
+		t.Errorf("small model should fit all 5 strategies on BigBasin, got %d", len(plans))
 	}
 	plans = Feasible(workload.M3Prod(), hw.BigBasin())
 	for _, p := range plans {
@@ -154,7 +155,7 @@ func TestFeasibleEnumerates(t *testing.T) {
 }
 
 func TestStrategyString(t *testing.T) {
-	names := []string{"GPUMemory", "SystemMemory", "RemoteCPU", "Hybrid"}
+	names := []string{"GPUMemory", "SystemMemory", "RemoteCPU", "Hybrid", "Tiered"}
 	for i, s := range Strategies() {
 		if s.String() != names[i] {
 			t.Errorf("Strategy(%d).String() = %q", i, s.String())
@@ -162,6 +163,77 @@ func TestStrategyString(t *testing.T) {
 	}
 	if !strings.Contains(Strategy(99).String(), "99") {
 		t.Error("unknown strategy should render its number")
+	}
+}
+
+func TestTieredSmallModelDegeneratesToGPUMemory(t *testing.T) {
+	plan, err := Fit(smallCfg(), hw.BigBasin(), Tiered, 0)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	cfg := smallCfg()
+	if plan.GPUBytes != cfg.EmbeddingBytes() || plan.HostBytes != 0 || plan.RemoteBytes != 0 {
+		t.Errorf("small model must live entirely in HBM: %+v", plan)
+	}
+	if plan.HotFraction != 1 || plan.EmbGPUs != 1 {
+		t.Errorf("HotFraction %v EmbGPUs %d, want 1/1", plan.HotFraction, plan.EmbGPUs)
+	}
+	if plan.Tiered == nil || plan.Tiered.CacheRows != 0 {
+		t.Errorf("no-spill plan must carry an assignment without a cache: %+v", plan.Tiered)
+	}
+}
+
+func TestTieredHandlesHBMOverflow(t *testing.T) {
+	// M3prod (224 GB) does not fit Big Basin's HBM or its 256 GB host
+	// DRAM flat, but the tiered hierarchy holds it: hot tables in HBM,
+	// spill in host DRAM, with an HBM hot-row cache in front.
+	m3 := workload.M3Prod()
+	plan, err := Fit(m3, hw.BigBasin(), Tiered, 0)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if plan.GPUBytes == 0 || plan.HostBytes == 0 {
+		t.Errorf("M3prod must span HBM and host DRAM: %+v", plan)
+	}
+	if plan.EmbGPUs != 8 {
+		t.Errorf("EmbGPUs = %d, want all 8 for a ~192GB HBM load", plan.EmbGPUs)
+	}
+	asg := plan.Tiered
+	if asg == nil || asg.CacheRows == 0 || asg.CacheHitRate <= 0 {
+		t.Fatalf("overflowing model must activate the hot-row cache: %+v", asg)
+	}
+	if plan.HotFraction <= asg.Tiers[0].ResidentShare {
+		t.Error("cache hits must raise HotFraction above the resident HBM share")
+	}
+	if plan.HotFraction >= 1 {
+		t.Errorf("HotFraction %v must stay below 1 when tables spill", plan.HotFraction)
+	}
+}
+
+func TestFitTieredUsesProfile(t *testing.T) {
+	// A trace that inverts the configured hotness must invert the HBM
+	// winner (trace-driven placement, not config-driven).
+	cfg := core.Config{
+		Name:          "tiered-profile",
+		DenseFeatures: 64,
+		EmbeddingDim:  64,
+		BottomMLP:     []int{64},
+		TopMLP:        []int{64},
+		Interaction:   core.Concat,
+		Sparse: []core.SparseFeature{
+			{Name: "cfg-hot", HashSize: 500_000_000, MeanPooled: 30, MaxPooled: 32}, // ~119 GB
+			{Name: "cfg-cold", HashSize: 500_000_000, MeanPooled: 1, MaxPooled: 32}, // ~119 GB
+		},
+	}
+	profile := [][]uint64{{2, 1}, {100, 90, 80}}
+	plan, err := FitTiered(cfg, hw.BigBasin(), TieredOptions{
+		Assign: memtier.AssignOptions{Profile: profile},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.GPUTableIdx) != 1 || plan.GPUTableIdx[0] != 1 {
+		t.Errorf("traced-hot table must win HBM: GPU tables %v", plan.GPUTableIdx)
 	}
 }
 

@@ -3,17 +3,18 @@
 // access frequencies follow a power law, frequency does not correlate
 // with table size, and the skew creates caching opportunities.
 //
-// It also provides an LRU cache simulator to quantify that caching
-// opportunity on recorded traces.
+// It also provides an LRU cache simulator (backed by the memtier
+// package's policy implementations) to quantify that caching opportunity
+// on recorded traces, and exports row-frequency profiles the memtier
+// planner consumes for trace-driven tier assignment.
 package trace
 
 import (
-	"container/list"
-	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/memtier"
 )
 
 // Collector counts per-row accesses per table.
@@ -141,75 +142,56 @@ func (c *Collector) SizeFrequencyCorrelation() float64 {
 	return sxy / (math.Sqrt(sxx) * math.Sqrt(syy))
 }
 
+// RowFrequencies exports per-table row access counts sorted descending —
+// the profile memtier.Assign and memtier.EstimateHitRate consume for
+// trace-driven tier assignment. The outer slice is index-aligned with the
+// config's sparse features; untouched tables yield empty slices.
+func (c *Collector) RowFrequencies() [][]uint64 {
+	out := make([][]uint64, len(c.counts))
+	for f, m := range c.counts {
+		freqs := make([]uint64, 0, len(m))
+		for _, n := range m {
+			freqs = append(freqs, n)
+		}
+		sort.Slice(freqs, func(i, j int) bool { return freqs[i] > freqs[j] })
+		out[f] = freqs
+	}
+	return out
+}
+
 // LRU is a fixed-capacity least-recently-used cache over (table, row)
 // keys, used to estimate the hit rate a row cache would achieve on a
-// recorded access stream.
+// recorded access stream. It is a thin (feature, row)-keyed wrapper over
+// memtier.LRU; use the memtier package directly for other eviction
+// policies (LFU, CLOCK).
 type LRU struct {
-	capacity int
-	ll       *list.List
-	items    map[uint64]*list.Element
-	hits     uint64
-	misses   uint64
+	p *memtier.LRU
 }
 
 // NewLRU creates a cache holding capacity rows.
 func NewLRU(capacity int) *LRU {
-	if capacity <= 0 {
-		panic(fmt.Sprintf("trace: LRU capacity %d", capacity))
-	}
-	return &LRU{capacity: capacity, ll: list.New(), items: make(map[uint64]*list.Element)}
-}
-
-func key(feature int, ix int32) uint64 {
-	return uint64(feature)<<32 | uint64(uint32(ix))
+	return &LRU{p: memtier.NewLRU(capacity)}
 }
 
 // Access touches (feature, ix) and reports whether it hit.
 func (c *LRU) Access(feature int, ix int32) bool {
-	k := key(feature, ix)
-	if el, ok := c.items[k]; ok {
-		c.ll.MoveToFront(el)
-		c.hits++
-		return true
-	}
-	c.misses++
-	el := c.ll.PushFront(k)
-	c.items[k] = el
-	if c.ll.Len() > c.capacity {
-		back := c.ll.Back()
-		c.ll.Remove(back)
-		delete(c.items, back.Value.(uint64))
-	}
-	return false
+	return c.p.Access(memtier.Key(feature, ix))
 }
 
 // HitRate returns hits / (hits + misses).
-func (c *LRU) HitRate() float64 {
-	total := c.hits + c.misses
-	if total == 0 {
-		return 0
-	}
-	return float64(c.hits) / float64(total)
-}
+func (c *LRU) HitRate() float64 { return memtier.HitRate(c.p) }
 
 // Len returns the number of cached rows.
-func (c *LRU) Len() int { return c.ll.Len() }
+func (c *LRU) Len() int { return c.p.Len() }
 
 // CacheOpportunity replays the batches through LRU caches of the given
 // row capacities and returns the hit rate per capacity — the §III-A2
-// caching-opportunity curve.
+// caching-opportunity curve. memtier.OpportunityCurve generalizes this
+// over eviction policies.
 func CacheOpportunity(batches []*core.MiniBatch, capacities []int) []float64 {
-	out := make([]float64, len(capacities))
-	for i, cap := range capacities {
-		lru := NewLRU(cap)
-		for _, b := range batches {
-			for f, bag := range b.Bags {
-				for _, ix := range bag.Indices {
-					lru.Access(f, ix)
-				}
-			}
-		}
-		out[i] = lru.HitRate()
+	out, err := memtier.OpportunityCurve("lru", batches, capacities)
+	if err != nil {
+		panic(err) // unreachable: "lru" is always registered
 	}
 	return out
 }

@@ -110,6 +110,25 @@ func TestSizeFrequencyCorrelationWeak(t *testing.T) {
 	}
 }
 
+func TestRowFrequenciesSortedAndAligned(t *testing.T) {
+	cfg := traceCfg()
+	c := NewCollector(cfg)
+	c.Record(0, 5)
+	c.Record(0, 5)
+	c.Record(0, 9)
+	c.Record(2, 1)
+	freqs := c.RowFrequencies()
+	if len(freqs) != cfg.NumSparse() {
+		t.Fatalf("profile length %d", len(freqs))
+	}
+	if len(freqs[0]) != 2 || freqs[0][0] != 2 || freqs[0][1] != 1 {
+		t.Errorf("table0 frequencies %v, want [2 1]", freqs[0])
+	}
+	if len(freqs[1]) != 0 || len(freqs[2]) != 1 {
+		t.Errorf("tables 1/2 frequencies %v / %v", freqs[1], freqs[2])
+	}
+}
+
 func TestLRUBasics(t *testing.T) {
 	lru := NewLRU(2)
 	if lru.Access(0, 1) {

@@ -2,15 +2,20 @@
 // reproduction of "Understanding Training Efficiency of Deep Learning
 // Recommendation Models at Scale" (HPCA 2021).
 //
-// It bundles three capabilities:
+// It bundles four capabilities:
 //
 //   - a real DLRM training stack (models, embedding tables, optimizers,
 //     synthetic click data, single-node and distributed trainers);
 //   - an analytic + discrete-event performance model of the paper's
 //     hardware platforms (dual-socket CPU, Big Basin, Zion) and embedding
 //     placement strategies;
+//   - a tiered embedding-memory subsystem (internal/memtier) that stages
+//     tables across HBM / host DRAM / remote DRAM / NVM, simulates
+//     hot-row caching with pluggable eviction policies (LRU, LFU, CLOCK),
+//     and exploits the §III-A2 power-law access skew via the Tiered
+//     placement strategy (PlaceTiered);
 //   - runners that regenerate every table and figure of the paper's
-//     evaluation.
+//     evaluation, plus an MTrainS-style tiered-memory sweep.
 //
 // Quick start:
 //
@@ -26,6 +31,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/experiments"
 	"repro/internal/hw"
+	"repro/internal/memtier"
 	"repro/internal/perfmodel"
 	"repro/internal/placement"
 	"repro/internal/workload"
@@ -64,14 +70,40 @@ type (
 	ExperimentResult = experiments.Result
 	// ExperimentOptions tunes experiment execution.
 	ExperimentOptions = experiments.Options
+	// MemoryTier is one level of a platform's embedding memory
+	// hierarchy (HBM, host DRAM, remote DRAM, NVM).
+	MemoryTier = hw.MemTier
+	// MemoryTierKind orders the hierarchy levels.
+	MemoryTierKind = hw.MemTierKind
+	// TierAssignment maps embedding tables onto the hierarchy plus the
+	// HBM hot-row cache carved out of the top tier.
+	TierAssignment = memtier.Assignment
+	// TieredOptions tunes the Tiered placement strategy (trace profile,
+	// Zipf skew, cache fraction, eviction policy).
+	TieredOptions = placement.TieredOptions
+	// TierAssignOptions is the memtier planner's knob set, embedded in
+	// TieredOptions.Assign.
+	TierAssignOptions = memtier.AssignOptions
+	// CachePolicy is a pluggable row-cache eviction policy (LRU, LFU,
+	// CLOCK).
+	CachePolicy = memtier.Policy
 )
 
-// Placement strategies (Fig 8).
+// Placement strategies (Fig 8, plus the tiered-memory extension).
 const (
 	PlaceGPUMemory    = placement.GPUMemory
 	PlaceSystemMemory = placement.SystemMemory
 	PlaceRemoteCPU    = placement.RemoteCPU
 	PlaceHybrid       = placement.Hybrid
+	PlaceTiered       = placement.Tiered
+)
+
+// Memory hierarchy levels.
+const (
+	TierHBM        = hw.TierHBM
+	TierLocalDRAM  = hw.TierLocalDRAM
+	TierRemoteDRAM = hw.TierRemoteDRAM
+	TierNVM        = hw.TierNVM
 )
 
 // Interaction kinds.
@@ -146,13 +178,44 @@ func EstimateCPUCluster(cfg ModelConfig, batch, trainers, sparsePS, densePS int)
 	})
 }
 
-// BestPlacement picks the fastest feasible paper placement on a platform.
+// BestPlacement picks the fastest feasible placement on a platform among
+// the paper's three production strategies and the tiered-memory
+// extension (ties break toward the paper's flat strategies).
 func BestPlacement(cfg ModelConfig, platformName string, batch int) (PlacementPlan, Breakdown, error) {
 	p, err := hw.ByName(platformName)
 	if err != nil {
 		return PlacementPlan{}, Breakdown{}, err
 	}
 	return perfmodel.BestPlacement(cfg, p, batch, perfmodel.DefaultCalibration())
+}
+
+// MemoryTiers returns a platform's embedding memory hierarchy ordered
+// fastest to slowest; remotePS sizes the remote-DRAM tier (0 for the
+// default fleet).
+func MemoryTiers(platformName string, remotePS int) ([]MemoryTier, error) {
+	p, err := hw.ByName(platformName)
+	if err != nil {
+		return nil, err
+	}
+	return p.MemoryTiers(remotePS), nil
+}
+
+// PlaceTieredWith builds a Tiered placement plan with explicit options —
+// use FitPlacement(cfg, platform, PlaceTiered, 0) for the defaults. The
+// returned plan's Tiered field carries the per-tier assignment and the
+// hot-row cache estimate.
+func PlaceTieredWith(cfg ModelConfig, platformName string, opts TieredOptions) (PlacementPlan, error) {
+	p, err := hw.ByName(platformName)
+	if err != nil {
+		return PlacementPlan{}, err
+	}
+	return placement.FitTiered(cfg, p, opts)
+}
+
+// NewCachePolicy builds a row-cache eviction policy ("lru", "lfu",
+// "clock") with the given row capacity.
+func NewCachePolicy(name string, capacityRows int) (CachePolicy, error) {
+	return memtier.NewPolicy(name, capacityRows)
 }
 
 // Experiments lists the regenerable paper artifacts.
@@ -164,7 +227,7 @@ func RunExperiment(id string, opt ExperimentOptions) (ExperimentResult, error) {
 }
 
 // Version identifies the reproduction release.
-const Version = "1.0.0"
+const Version = "1.1.0"
 
 // Describe returns a one-line summary of a model config.
 func Describe(cfg ModelConfig) string {

@@ -76,9 +76,44 @@ func TestPublicAPIPlacement(t *testing.T) {
 	}
 }
 
+func TestPublicAPITieredPlacement(t *testing.T) {
+	// M3prod overflows Big Basin HBM: the tiered hierarchy must hold it
+	// and beat the remote-PS estimate.
+	m3 := ProductionModels()[2]
+	plan, err := FitPlacement(m3, "BigBasin", PlaceTiered, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Tiered == nil || plan.HotFraction <= 0 || plan.HotFraction >= 1 {
+		t.Errorf("tiered plan %+v", plan)
+	}
+	tiered, err := EstimateGPU(m3, "BigBasin", 800, PlaceTiered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := EstimateGPU(m3, "BigBasin", 800, PlaceRemoteCPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiered.Throughput <= remote.Throughput {
+		t.Errorf("tiered %v must beat remote %v for M3prod", tiered.Throughput, remote.Throughput)
+	}
+	tiers, err := MemoryTiers("BigBasin", 0)
+	if err != nil || len(tiers) != 4 || tiers[0].Kind != TierHBM {
+		t.Errorf("MemoryTiers: %v %v", tiers, err)
+	}
+	p, err := NewCachePolicy("clock", 16)
+	if err != nil || p.Name() != "clock" {
+		t.Errorf("NewCachePolicy: %v %v", p, err)
+	}
+	if _, err := PlaceTieredWith(m3, "BigBasin", TieredOptions{}); err != nil {
+		t.Errorf("PlaceTieredWith: %v", err)
+	}
+}
+
 func TestPublicAPIExperiments(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 16 {
+	if len(ids) != 17 {
 		t.Fatalf("Experiments() = %d ids", len(ids))
 	}
 	res, err := RunExperiment("table1", ExperimentOptions{Quick: true})
