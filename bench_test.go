@@ -7,6 +7,7 @@ package recsim
 import (
 	"testing"
 
+	"repro/internal/benchreport"
 	"repro/internal/core"
 	"repro/internal/embedding"
 	"repro/internal/experiments"
@@ -53,17 +54,11 @@ func BenchmarkAutotune(b *testing.B) { benchExperiment(b, "vic") }
 
 // ---- substrate micro-benchmarks and DESIGN.md ablations ----
 
-// BenchmarkTrainStep measures one real training step of a mid-size model.
+// BenchmarkTrainStep measures one real training step of a mid-size model
+// (the same config cmd/benchrun's train_step entry measures, so the
+// committed BENCH reports stay comparable).
 func BenchmarkTrainStep(b *testing.B) {
-	cfg := core.Config{
-		Name:          "bench",
-		DenseFeatures: 64,
-		Sparse:        core.UniformSparse(8, 10000, 5),
-		EmbeddingDim:  32,
-		BottomMLP:     []int{128},
-		TopMLP:        []int{128, 64},
-		Interaction:   core.DotProduct,
-	}
+	cfg := benchreport.BenchStepConfig()
 	m := NewModel(cfg, 1)
 	tr := NewTrainer(m, TrainerConfig{LR: 0.05})
 	gen := NewGenerator(cfg, 2)
@@ -122,6 +117,28 @@ func randMat(rng *xrand.RNG, n int) *tensor.Matrix {
 	m := tensor.New(n, n)
 	tensor.NormalInit(m, 1, rng)
 	return m
+}
+
+// Ablation: fused matmul+bias+ReLU epilogue vs the three-pass sequence
+// (see DESIGN.md "Fusion").
+func BenchmarkAblationDenseLayerFused(b *testing.B) {
+	rng := xrand.New(1)
+	x, w, y := randMat(rng, 256), randMat(rng, 256), tensor.New(256, 256)
+	bias := make([]float32, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulBiasReLU(y, x, w, bias, true)
+	}
+}
+
+func BenchmarkAblationDenseLayerUnfused(b *testing.B) {
+	rng := xrand.New(1)
+	x, w, y := randMat(rng, 256), randMat(rng, 256), tensor.New(256, 256)
+	bias := make([]float32, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchreport.UnfusedDenseLayer(y, x, w, bias)
+	}
 }
 
 // Ablation: table-wise sharding balanced on bytes vs on lookups

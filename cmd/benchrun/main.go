@@ -1,0 +1,107 @@
+// Command benchrun measures the training hot path and writes a
+// machine-readable BENCH_<timestamp>.json report, giving each PR a
+// recorded perf trajectory (examples/sec, ns/op, allocs/op, and the
+// tiled-vs-naive / fused-vs-unfused ablation speedups).
+//
+//	benchrun                        # full run (~1s per benchmark), report in .
+//	benchrun -o reports -mintime 3s # steadier numbers, custom output dir
+//	benchrun -quick                 # CI smoke mode (tens of ms per benchmark)
+//	benchrun -bench gemm            # only benchmarks whose name contains "gemm"
+//	benchrun -baseline BENCH_old.json  # adds <name>_vs_baseline speedups
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/benchreport"
+	"repro/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchrun", flag.ContinueOnError)
+	fs.SetOutput(out)
+	dir := fs.String("o", ".", "directory for the BENCH_<timestamp>.json report")
+	quick := fs.Bool("quick", false, "smoke mode: ~30ms per benchmark")
+	mintime := fs.Duration("mintime", time.Second, "measurement floor per benchmark")
+	bench := fs.String("bench", "", "only run benchmarks whose name contains this substring")
+	baseline := fs.String("baseline", "", "prior BENCH_*.json whose ns/op become the baseline")
+	note := fs.String("note", "", "free-form note recorded in the report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := benchreport.Options{MinTime: *mintime, Filter: *bench}
+	if *quick {
+		opts.MinTime = 30 * time.Millisecond
+	}
+
+	fmt.Fprintf(out, "benchrun: measuring %s/benchmark, GOMAXPROCS=%d\n", opts.MinTime, runtime.GOMAXPROCS(0))
+	rep := benchreport.Run(benchreport.DefaultSpecs(*bench), opts)
+
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			return fmt.Errorf("benchrun: opening baseline: %w", err)
+		}
+		base, err := benchreport.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		rep.ApplyBaseline(base.BaselineNsPerOp(), "baseline "+filepath.Base(*baseline))
+	}
+	if *note != "" {
+		if rep.Notes != "" {
+			rep.Notes += "; "
+		}
+		rep.Notes += *note
+	}
+
+	rows := [][]string{{"benchmark", "ns/op", "allocs/op", "examples/sec"}}
+	for _, b := range rep.Benchmarks {
+		exs := ""
+		if b.ExamplesPerSec > 0 {
+			exs = metrics.F(b.ExamplesPerSec)
+		}
+		rows = append(rows, []string{b.Name, metrics.F(b.NsPerOp), metrics.F(b.AllocsPerOp), exs})
+	}
+	fmt.Fprint(out, metrics.Table(rows))
+
+	if len(rep.Speedups) > 0 {
+		keys := make([]string, 0, len(rep.Speedups))
+		for k := range rep.Speedups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintln(out, "\nspeedups:")
+		for _, k := range keys {
+			fmt.Fprintf(out, "  %-32s %.2fx\n", k, rep.Speedups[k])
+		}
+	}
+
+	path := filepath.Join(*dir, rep.Filename())
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("benchrun: creating report: %w", err)
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nreport written to %s\n", path)
+	return nil
+}

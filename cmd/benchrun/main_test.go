@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/benchreport"
+)
+
+func TestRunQuickWritesReport(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-quick", "-o", dir, "-note", "smoke"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"train_step", "gemm/tiled_256", "speedups:", "gemm_tiled_vs_naive", "report written to"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("expected one BENCH_*.json in %s, got %v (%v)", dir, matches, err)
+	}
+	f, err := os.Open(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := benchreport.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 || rep.Notes != "smoke" {
+		t.Errorf("report content unexpected: %+v", rep)
+	}
+}
+
+func TestRunBenchFilterAndBaseline(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-quick", "-o", dir, "-bench", "hash"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if len(matches) != 1 {
+		t.Fatalf("expected one report, got %v", matches)
+	}
+
+	// Second run using the first as baseline must report a vs-baseline
+	// speedup.
+	dir2 := t.TempDir()
+	out.Reset()
+	if err := run([]string{"-quick", "-o", dir2, "-bench", "hash", "-baseline", matches[0]}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "embedding/hash_index_vs_baseline") {
+		t.Errorf("baseline speedup missing:\n%s", out.String())
+	}
+}

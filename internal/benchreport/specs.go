@@ -1,0 +1,250 @@
+package benchreport
+
+import (
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/embedding"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// benchBatch is the mini-batch size of the train-step benchmark (matches
+// BenchmarkTrainStep in the repository root).
+const benchBatch = 128
+
+// BenchStepConfig is the mid-size DLRM shared by every train-step
+// measurement in the repository — the root BenchmarkTrainStep and
+// TestTrainStepZeroAlloc reference it too, so the committed BENCH reports
+// stay comparable with `go test -bench`.
+func BenchStepConfig() core.Config {
+	return core.Config{
+		Name:          "benchrun",
+		DenseFeatures: 64,
+		Sparse:        core.UniformSparse(8, 10000, 5),
+		EmbeddingDim:  32,
+		BottomMLP:     []int{128},
+		TopMLP:        []int{128, 64},
+		Interaction:   core.DotProduct,
+	}
+}
+
+// UnfusedDenseLayer runs the pre-fusion dense-layer forward sequence
+// (matmul, then bias and ReLU passes) — the ablation counterpart of
+// tensor.MatMulBiasReLU, shared with the root benchmarks.
+func UnfusedDenseLayer(y, x, w *tensor.Matrix, bias []float32) {
+	tensor.MatMul(y, x, w)
+	for r := 0; r < y.Rows; r++ {
+		row := y.Row(r)
+		tensor.AddTo(row, bias)
+		for j, v := range row {
+			if v < 0 {
+				row[j] = 0
+			}
+		}
+	}
+}
+
+// DefaultSpecs returns the standard benchmark set: the end-to-end
+// training step, the kernel ablations behind the named speedups, the
+// sparse-side primitives, and the batch-generation path. A non-empty
+// filter skips non-matching specs before their fixtures are built, so
+// filtered runs construct only what they measure.
+func DefaultSpecs(filter string) []Spec {
+	var specs []Spec
+	want := func(names ...string) bool {
+		if filter == "" {
+			return true
+		}
+		for _, n := range names {
+			if strings.Contains(n, filter) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// End-to-end training step (fused kernels, zero steady-state allocs).
+	if want("train_step") {
+		cfg := BenchStepConfig()
+		m := core.NewModel(cfg, xrand.New(1))
+		tr := core.NewTrainer(m, core.TrainerConfig{LR: 0.05})
+		gen := data.NewGenerator(cfg, 2, data.DefaultOptions())
+		batch := gen.NextBatch(benchBatch)
+		specs = append(specs, Spec{
+			Name:          "train_step",
+			ExamplesPerOp: benchBatch,
+			Fn: func(iters int) {
+				for i := 0; i < iters; i++ {
+					tr.Step(batch)
+				}
+			},
+		})
+	}
+
+	// GEMM: tiled/register-blocked production kernel vs the naive
+	// three-loop reference.
+	if want("gemm/tiled_256", "gemm/naive_256") {
+		rng := xrand.New(3)
+		a, b, dst := tensor.New(256, 256), tensor.New(256, 256), tensor.New(256, 256)
+		tensor.NormalInit(a, 1, rng)
+		tensor.NormalInit(b, 1, rng)
+		specs = append(specs, Spec{
+			Name: "gemm/tiled_256",
+			Fn: func(iters int) {
+				for i := 0; i < iters; i++ {
+					tensor.MatMul(dst, a, b)
+				}
+			},
+		}, Spec{
+			Name: "gemm/naive_256",
+			Fn: func(iters int) {
+				for it := 0; it < iters; it++ {
+					for r := 0; r < 256; r++ {
+						for c := 0; c < 256; c++ {
+							var s float32
+							for k := 0; k < 256; k++ {
+								s += a.At(r, k) * b.At(k, c)
+							}
+							dst.Set(r, c, s)
+						}
+					}
+				}
+			},
+		})
+	}
+
+	// Dense layer forward: fused matmul+bias+ReLU vs the three-pass
+	// unfused sequence it replaced.
+	if want("dense_layer/fused", "dense_layer/unfused") {
+		rng := xrand.New(4)
+		x, w, y := tensor.New(benchBatch, 256), tensor.New(256, 128), tensor.New(benchBatch, 128)
+		bias := make([]float32, 128)
+		tensor.NormalInit(x, 1, rng)
+		tensor.NormalInit(w, 0.1, rng)
+		specs = append(specs, Spec{
+			Name: "dense_layer/fused",
+			Fn: func(iters int) {
+				for i := 0; i < iters; i++ {
+					tensor.MatMulBiasReLU(y, x, w, bias, true)
+				}
+			},
+		}, Spec{
+			Name: "dense_layer/unfused",
+			Fn: func(iters int) {
+				for i := 0; i < iters; i++ {
+					UnfusedDenseLayer(y, x, w, bias)
+				}
+			},
+		})
+	}
+
+	// Sparse side: pooled bag lookup + gradient scatter, and the hashing
+	// trick.
+	if want("embedding/bag_forward", "embedding/bag_backward", "embedding/hash_index") {
+		cfg := BenchStepConfig()
+		rng := xrand.New(5)
+		tab := embedding.NewTable("bench", cfg.Sparse[0].HashSize, cfg.EmbeddingDim, rng)
+		gen := data.NewGenerator(cfg, 6, data.DefaultOptions())
+		batch := gen.NextBatch(benchBatch)
+		bag := batch.Bags[0]
+		out := tensor.New(benchBatch, cfg.EmbeddingDim)
+		dOut := tensor.New(benchBatch, cfg.EmbeddingDim)
+		tensor.NormalInit(dOut, 1, rng)
+		sc := embedding.NewScratch()
+		sg := embedding.NewSparseGrad(cfg.EmbeddingDim)
+		specs = append(specs, Spec{
+			Name:          "embedding/bag_forward",
+			ExamplesPerOp: benchBatch,
+			Fn: func(iters int) {
+				for i := 0; i < iters; i++ {
+					tab.BagForwardInto(bag, out, sc)
+				}
+			},
+		}, Spec{
+			Name:          "embedding/bag_backward",
+			ExamplesPerOp: benchBatch,
+			Fn: func(iters int) {
+				for i := 0; i < iters; i++ {
+					sg.Reset()
+					tab.BagBackward(bag, dOut, sg)
+				}
+			},
+		}, Spec{
+			Name:          "embedding/hash_index",
+			ExamplesPerOp: 1024,
+			Fn: func(iters int) {
+				var sink int32
+				for i := 0; i < iters; i++ {
+					for id := uint64(0); id < 1024; id++ {
+						sink = tab.HashIndex(id*2654435761 + uint64(i))
+					}
+				}
+				_ = sink
+			},
+		})
+	}
+
+	// Data path: recycled NextBatchInto vs per-call allocation.
+	if want("data/next_batch_into", "data/next_batch") {
+		cfg := BenchStepConfig()
+		genInto := data.NewGenerator(cfg, 7, data.DefaultOptions())
+		genFresh := data.NewGenerator(cfg, 7, data.DefaultOptions())
+		var mb *core.MiniBatch
+		specs = append(specs, Spec{
+			Name:          "data/next_batch_into",
+			ExamplesPerOp: benchBatch,
+			Fn: func(iters int) {
+				for i := 0; i < iters; i++ {
+					mb = genInto.NextBatchInto(benchBatch, mb)
+				}
+			},
+		}, Spec{
+			Name:          "data/next_batch",
+			ExamplesPerOp: benchBatch,
+			Fn: func(iters int) {
+				for i := 0; i < iters; i++ {
+					_ = genFresh.NextBatch(benchBatch)
+				}
+			},
+		})
+	}
+
+	// Loss micro-kernel rounds out the step profile.
+	if want("loss/bce_with_logits") {
+		logits := make([]float32, benchBatch)
+		labels := make([]float32, benchBatch)
+		grad := make([]float32, benchBatch)
+		rng := xrand.New(8)
+		for i := range logits {
+			logits[i] = float32(rng.Norm())
+			if rng.Float32() < 0.25 {
+				labels[i] = 1
+			}
+		}
+		specs = append(specs, Spec{
+			Name:          "loss/bce_with_logits",
+			ExamplesPerOp: benchBatch,
+			Fn: func(iters int) {
+				for i := 0; i < iters; i++ {
+					nn.BCEWithLogits(logits, labels, grad)
+				}
+			},
+		})
+	}
+
+	// Fixture blocks are shared, so a matching block may carry sibling
+	// specs the filter does not name; drop those here.
+	if filter != "" {
+		kept := specs[:0]
+		for _, s := range specs {
+			if strings.Contains(s.Name, filter) {
+				kept = append(kept, s)
+			}
+		}
+		specs = kept
+	}
+	return specs
+}

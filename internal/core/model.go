@@ -54,10 +54,20 @@ type Model struct {
 	z      *tensor.Matrix   // bottom output, B×d
 	xTop   *tensor.Matrix   // interaction output, B×interactionDim
 	batch  *MiniBatch
+	logits []float32 // returned by Forward, reused across batches
 
 	// backward scratch
 	dPooled []*tensor.Matrix
 	dZ      *tensor.Matrix
+	dOut    *tensor.Matrix // B×1 logit-gradient column
+
+	// reusable arenas: per-row vector views for the interaction, the
+	// per-table sparse-gradient accumulators handed to optimizers, and
+	// the per-worker embedding-lookup scratch. Together they make
+	// steady-state Forward/Backward allocation-free.
+	vecs, dvecs []([]float32)
+	sparseGrads []*embedding.SparseGrad
+	embScratch  *embedding.Scratch
 }
 
 // NewModel allocates a model with freshly initialized parameters. It
@@ -66,7 +76,7 @@ func NewModel(cfg Config, rng *xrand.RNG) *Model {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	m := &Model{Cfg: cfg}
+	m := &Model{Cfg: cfg, embScratch: embedding.NewScratch()}
 	m.Bottom = nn.NewMLP(cfg.BottomDims(), rng)
 	m.Top = nn.NewMLP(cfg.TopDims(), rng)
 	for _, s := range cfg.Sparse {
@@ -80,16 +90,17 @@ func NewModel(cfg Config, rng *xrand.RNG) *Model {
 // This is the worker view for Hogwild! training.
 func (m *Model) ShareWeights() *Model {
 	return &Model{
-		Cfg:    m.Cfg,
-		Bottom: m.Bottom.ShareWeights(),
-		Top:    m.Top.ShareWeights(),
-		Tables: m.Tables, // embedding rows are updated lock-free in place
+		Cfg:        m.Cfg,
+		Bottom:     m.Bottom.ShareWeights(),
+		Top:        m.Top.ShareWeights(),
+		Tables:     m.Tables, // embedding rows are updated lock-free in place
+		embScratch: embedding.NewScratch(),
 	}
 }
 
 // Clone returns a deep copy with independent parameters.
 func (m *Model) Clone() *Model {
-	c := &Model{Cfg: m.Cfg, Bottom: m.Bottom.Clone(), Top: m.Top.Clone()}
+	c := &Model{Cfg: m.Cfg, Bottom: m.Bottom.Clone(), Top: m.Top.Clone(), embScratch: embedding.NewScratch()}
 	for _, t := range m.Tables {
 		nt := &embedding.Table{Name: t.Name, HashSize: t.HashSize, Dim: t.Dim, Weights: t.Weights.Clone()}
 		c.Tables = append(c.Tables, nt)
@@ -105,6 +116,9 @@ func (m *Model) Forward(b *MiniBatch) []float32 {
 	s := m.Cfg.NumSparse()
 
 	m.batch = b
+	if m.embScratch == nil {
+		m.embScratch = embedding.NewScratch()
+	}
 	m.z = m.Bottom.Forward(b.Dense)
 
 	if len(m.pooled) != s || (s > 0 && m.pooled[0].Rows != B) {
@@ -114,7 +128,7 @@ func (m *Model) Forward(b *MiniBatch) []float32 {
 		}
 	}
 	for i, tab := range m.Tables {
-		tab.Forward(b.Bags[i], m.pooled[i])
+		tab.BagForwardInto(b.Bags[i], m.pooled[i], m.embScratch)
 	}
 
 	idim := m.Cfg.InteractionDim()
@@ -124,11 +138,23 @@ func (m *Model) Forward(b *MiniBatch) []float32 {
 	m.buildInteraction(B)
 
 	out := m.Top.Forward(m.xTop)
-	logits := make([]float32, B)
+	if cap(m.logits) < B {
+		m.logits = make([]float32, B)
+	}
+	logits := m.logits[:B]
 	for i := 0; i < B; i++ {
 		logits[i] = out.At(i, 0)
 	}
 	return logits
+}
+
+// ensureVecs sizes the reusable per-row vector-view arenas shared by
+// buildInteraction and the interaction backward pass.
+func (m *Model) ensureVecs(s int) {
+	if len(m.vecs) != s+1 {
+		m.vecs = make([][]float32, s+1)
+		m.dvecs = make([][]float32, s+1)
+	}
 }
 
 // buildInteraction fills xTop from z and pooled according to the config.
@@ -138,11 +164,12 @@ func (m *Model) buildInteraction(B int) {
 	switch m.Cfg.Interaction {
 	case DotProduct:
 		// Layout per row: [z (d) | dot(v_i, v_j) for i<j over v_0=z, v_1..s=pooled]
+		m.ensureVecs(s)
+		vecs := m.vecs
 		for r := 0; r < B; r++ {
 			row := m.xTop.Row(r)
 			copy(row[:d], m.z.Row(r))
 			k := d
-			vecs := make([][]float32, s+1)
 			vecs[0] = m.z.Row(r)
 			for i := 0; i < s; i++ {
 				vecs[i+1] = m.pooled[i].Row(r)
@@ -168,6 +195,8 @@ func (m *Model) buildInteraction(B int) {
 // Backward propagates the per-example logit gradients through the model.
 // MLP gradients accumulate into the nn layers (call ZeroGrad between
 // batches); embedding gradients are returned as one SparseGrad per table.
+// The returned accumulators are owned by the model and reused: they are
+// valid only until the next Backward call, which Resets and refills them.
 func (m *Model) Backward(dLogits []float32) []*embedding.SparseGrad {
 	if m.batch == nil {
 		panic("core: Backward before Forward")
@@ -176,11 +205,13 @@ func (m *Model) Backward(dLogits []float32) []*embedding.SparseGrad {
 	d := m.Cfg.EmbeddingDim
 	s := m.Cfg.NumSparse()
 
-	dout := tensor.New(B, 1)
-	for i := 0; i < B; i++ {
-		dout.Set(i, 0, dLogits[i])
+	if m.dOut == nil || m.dOut.Rows != B {
+		m.dOut = tensor.New(B, 1)
 	}
-	dXTop := m.Top.Backward(dout)
+	for i := 0; i < B; i++ {
+		m.dOut.Set(i, 0, dLogits[i])
+	}
+	dXTop := m.Top.Backward(m.dOut)
 
 	if len(m.dPooled) != s || (s > 0 && m.dPooled[0].Rows != B) {
 		m.dPooled = make([]*tensor.Matrix, s)
@@ -196,11 +227,11 @@ func (m *Model) Backward(dLogits []float32) []*embedding.SparseGrad {
 
 	switch m.Cfg.Interaction {
 	case DotProduct:
+		m.ensureVecs(s)
+		vecs, dvecs := m.vecs, m.dvecs
 		for r := 0; r < B; r++ {
 			g := dXTop.Row(r)
 			tensor.AddTo(m.dZ.Row(r), g[:d])
-			vecs := make([][]float32, s+1)
-			dvecs := make([][]float32, s+1)
 			vecs[0], dvecs[0] = m.z.Row(r), m.dZ.Row(r)
 			for i := 0; i < s; i++ {
 				vecs[i+1], dvecs[i+1] = m.pooled[i].Row(r), m.dPooled[i].Row(r)
@@ -230,12 +261,20 @@ func (m *Model) Backward(dLogits []float32) []*embedding.SparseGrad {
 
 	m.Bottom.Backward(m.dZ)
 
-	grads := make([]*embedding.SparseGrad, s)
-	for i, tab := range m.Tables {
-		grads[i] = embedding.NewSparseGrad(d)
-		tab.Backward(m.batch.Bags[i], m.dPooled[i], grads[i])
+	// Persistent per-table accumulators: Reset retains their slabs, so
+	// the scatter is allocation-free at steady state. The returned slice
+	// is valid until the next Backward call.
+	if len(m.sparseGrads) != s {
+		m.sparseGrads = make([]*embedding.SparseGrad, s)
+		for i := range m.sparseGrads {
+			m.sparseGrads[i] = embedding.NewSparseGrad(d)
+		}
 	}
-	return grads
+	for i, tab := range m.Tables {
+		m.sparseGrads[i].Reset()
+		tab.BagBackward(m.batch.Bags[i], m.dPooled[i], m.sparseGrads[i])
+	}
+	return m.sparseGrads
 }
 
 // DenseParams returns the MLP parameters (bottom then top) for optimizers

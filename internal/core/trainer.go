@@ -39,6 +39,7 @@ type Trainer struct {
 	sparseA []*optim.RowWiseAdagrad
 	sched   optim.WarmupSchedule
 	iter    int
+	gradBuf []float32 // reusable logit-gradient buffer
 }
 
 // NewTrainer builds a trainer for the model.
@@ -74,10 +75,15 @@ func NewTrainer(m *Model, cfg TrainerConfig) *Trainer {
 func (t *Trainer) Iter() int { return t.iter }
 
 // Step runs one forward/backward/update over the batch and returns the
-// batch's training loss.
+// batch's training loss. At steady state (fixed batch size) it performs
+// zero heap allocations; every scratch buffer is owned by the trainer or
+// the model and reused across steps.
 func (t *Trainer) Step(b *MiniBatch) float64 {
 	logits := t.Model.Forward(b)
-	grad := make([]float32, len(logits))
+	if cap(t.gradBuf) < len(logits) {
+		t.gradBuf = make([]float32, len(logits))
+	}
+	grad := t.gradBuf[:len(logits)]
 	loss := nn.BCEWithLogits(logits, b.Labels, grad)
 
 	t.Model.ZeroGrad()

@@ -111,16 +111,32 @@ func (g *Generator) calibrateBias() {
 
 // rawBatch generates features (no labels yet).
 func (g *Generator) rawBatch(b int) *core.MiniBatch {
-	dense := tensor.New(b, g.cfg.DenseFeatures)
-	for i := range dense.Data {
-		dense.Data[i] = float32(g.rng.Norm())
+	return g.rawBatchInto(b, nil)
+}
+
+// rawBatchInto fills mb with freshly drawn features, reusing its dense
+// matrix, bag index/offset slices, and label buffer when shapes allow.
+// Pass nil to allocate a new batch.
+func (g *Generator) rawBatchInto(b int, mb *core.MiniBatch) *core.MiniBatch {
+	if mb == nil {
+		mb = &core.MiniBatch{}
 	}
-	bags := make([]embedding.Bag, g.cfg.NumSparse())
+	if mb.Dense == nil || mb.Dense.Rows != b || mb.Dense.Cols != g.cfg.DenseFeatures {
+		mb.Dense = tensor.New(b, g.cfg.DenseFeatures)
+	}
+	for i := range mb.Dense.Data {
+		mb.Dense.Data[i] = float32(g.rng.Norm())
+	}
+	if len(mb.Bags) != g.cfg.NumSparse() {
+		mb.Bags = make([]embedding.Bag, g.cfg.NumSparse())
+	}
 	for f := range g.cfg.Sparse {
 		hashSize := g.cfg.Sparse[f].HashSize
 		meanTarget := g.cfg.Sparse[f].MeanPooled
 		scale := meanTarget / g.lengthGen[f].Mean()
-		per := make([][]int32, b)
+		bag := &mb.Bags[f]
+		bag.Indices = bag.Indices[:0]
+		bag.Offsets = append(bag.Offsets[:0], 0)
 		for i := 0; i < b; i++ {
 			// Draw a power-law length, rescaled toward the
 			// configured mean, at least 1, truncated at max.
@@ -131,24 +147,35 @@ func (g *Generator) rawBatch(b int) *core.MiniBatch {
 			if n > g.cfg.Sparse[f].MaxPooled {
 				n = g.cfg.Sparse[f].MaxPooled
 			}
-			idxs := make([]int32, n)
-			for k := range idxs {
+			for k := 0; k < n; k++ {
 				v := g.indexGen[f].Uint64()
 				if v >= uint64(hashSize) {
 					v = uint64(hashSize) - 1
 				}
-				idxs[k] = int32(v)
+				bag.Indices = append(bag.Indices, int32(v))
 			}
-			per[i] = idxs
+			bag.Offsets = append(bag.Offsets, int32(len(bag.Indices)))
 		}
-		bags[f] = embedding.NewBag(per)
 	}
-	return &core.MiniBatch{Dense: dense, Bags: bags, Labels: make([]float32, b)}
+	if cap(mb.Labels) < b {
+		mb.Labels = make([]float32, b)
+	}
+	mb.Labels = mb.Labels[:b]
+	clear(mb.Labels)
+	return mb
 }
 
 // NextBatch generates a labeled batch of b examples.
 func (g *Generator) NextBatch(b int) *core.MiniBatch {
-	mb := g.rawBatch(b)
+	return g.NextBatchInto(b, nil)
+}
+
+// NextBatchInto generates a labeled batch of b examples into mb, reusing
+// its buffers (dense matrix, bag slices, labels) so a steady-state
+// training loop recycles one MiniBatch instead of churning the heap. Pass
+// nil to allocate fresh; the (possibly re-pointed) batch is returned.
+func (g *Generator) NextBatchInto(b int, mb *core.MiniBatch) *core.MiniBatch {
+	mb = g.rawBatchInto(b, mb)
 	logits := g.teacher.Forward(mb)
 	for i, z := range logits {
 		p := tensor.Sigmoid(float32(g.opts.TeacherScale)*z + g.bias)

@@ -226,9 +226,13 @@ func (cl *Cluster) Train(cc ClusterConfig, gen func(trainer, thread int) *data.G
 				worker := local.ShareWeights()
 				g := gen(t, h)
 				opt := optim.NewSGD(worker.DenseParams(), float32(cc.LR))
+				// Per-worker arena: one recycled MiniBatch and one
+				// gradient buffer per Hogwild thread, so the steady-state
+				// loop stops churning the heap.
+				var ar workerArena
 				for it := 0; it < iters; it++ {
-					b := g.NextBatch(cc.BatchSize)
-					loss := cl.step(worker, opt, b)
+					ar.batch = g.NextBatchInto(cc.BatchSize, ar.batch)
+					loss := cl.step(worker, opt, ar.batch, &ar)
 					examples.Add(int64(cc.BatchSize))
 					lossSum.Add(int64(loss * 1e6))
 					lossN.Add(1)
@@ -266,11 +270,18 @@ func (cl *Cluster) newWorkerModel(seed int64) *core.Model {
 	}
 }
 
+// workerArena holds the per-Hogwild-thread reusable buffers: the recycled
+// mini-batch and the logit-gradient slice.
+type workerArena struct {
+	batch *core.MiniBatch
+	grad  []float32
+}
+
 // step runs forward/backward on the worker, routing pooled lookups and
 // gradient pushes through the owning shards. Because the worker model
 // shares table storage with the shards, Forward reads the same rows the
 // shard would serve; the shard's meters account the would-be wire bytes.
-func (cl *Cluster) step(worker *core.Model, opt *optim.SGD, b *core.MiniBatch) float64 {
+func (cl *Cluster) step(worker *core.Model, opt *optim.SGD, b *core.MiniBatch, ar *workerArena) float64 {
 	// Meter the lookups on the owning shards.
 	for f, bag := range b.Bags {
 		ps := cl.SparsePS[cl.owner[f]]
@@ -278,7 +289,10 @@ func (cl *Cluster) step(worker *core.Model, opt *optim.SGD, b *core.MiniBatch) f
 		ps.reqs.Add(1)
 	}
 	logits := worker.Forward(b)
-	grad := make([]float32, len(logits))
+	if cap(ar.grad) < len(logits) {
+		ar.grad = make([]float32, len(logits))
+	}
+	grad := ar.grad[:len(logits)]
 	loss := nn.BCEWithLogits(logits, b.Labels, grad)
 	worker.ZeroGrad()
 	sparse := worker.Backward(grad)

@@ -11,13 +11,59 @@ package embedding
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"sync/atomic"
 
 	"repro/internal/tensor"
 	"repro/internal/xrand"
 )
+
+// counterStripes is the cell count of the striped lookup counter (power
+// of two). Hogwild workers land on distinct stripes via their Scratch, so
+// the per-batch counter update stops bouncing one cache line between
+// cores.
+const counterStripes = 8
+
+// stripedCount is a cache-line-padded striped uint64 counter.
+type stripedCount struct {
+	cells [counterStripes]struct {
+		n atomic.Uint64
+		_ [56]byte // pad to one cache line
+	}
+}
+
+func (c *stripedCount) add(stripe int, n uint64) {
+	c.cells[stripe&(counterStripes-1)].n.Add(n)
+}
+
+func (c *stripedCount) load() uint64 {
+	var sum uint64
+	for i := range c.cells {
+		sum += c.cells[i].n.Load()
+	}
+	return sum
+}
+
+func (c *stripedCount) reset() {
+	for i := range c.cells {
+		c.cells[i].n.Store(0)
+	}
+}
+
+// Scratch is per-worker state for the batched lookup path. It pins the
+// counter stripe a worker updates; stripes are assigned round-robin at
+// construction so concurrent Hogwild workers spread across the striped
+// counter instead of contending on a single atomic.
+type Scratch struct {
+	stripe int
+}
+
+var scratchSeq atomic.Int64
+
+// NewScratch returns a worker-local scratch with a fresh counter stripe.
+func NewScratch() *Scratch {
+	return &Scratch{stripe: int(scratchSeq.Add(1))}
+}
 
 // Table is one embedding lookup table with hashSize rows of dim floats.
 type Table struct {
@@ -29,10 +75,10 @@ type Table struct {
 	// training stack.
 	Weights *tensor.Matrix
 
-	// lookups counts individual row accesses (atomic; shared across
-	// workers). The trace package uses it for the Fig 6/7 style
+	// lookups counts individual row accesses (striped atomics; shared
+	// across workers). The trace package uses it for the Fig 6/7 style
 	// access-frequency characterization.
-	lookups atomic.Uint64
+	lookups stripedCount
 }
 
 // NewTable allocates and initializes a table. Rows are initialized
@@ -52,17 +98,24 @@ func NewTable(name string, hashSize, dim int, rng *xrand.RNG) *Table {
 	return t
 }
 
+// FNV-1a 64-bit parameters (offset basis and prime).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // HashIndex maps an arbitrary categorical ID into [0, HashSize) using
 // FNV-1a — the "hashing trick" of §III-A1 that bounds table size at the
-// cost of collisions.
+// cost of collisions. The hash is computed inline over the eight
+// little-endian bytes of rawID (bit-identical to hash/fnv over the same
+// bytes) so the per-lookup hash.Hash64 heap allocation is gone.
 func (t *Table) HashIndex(rawID uint64) int32 {
-	h := fnv.New64a()
-	var buf [8]byte
-	for i := 0; i < 8; i++ {
-		buf[i] = byte(rawID >> (8 * i))
+	h := uint64(fnvOffset64)
+	for i := 0; i < 64; i += 8 {
+		h ^= (rawID >> i) & 0xff
+		h *= fnvPrime64
 	}
-	h.Write(buf[:])
-	return int32(h.Sum64() % uint64(t.HashSize))
+	return int32(h % uint64(t.HashSize))
 }
 
 // Bytes returns the parameter storage footprint in bytes (fp32).
@@ -71,10 +124,10 @@ func (t *Table) Bytes() int64 {
 }
 
 // Lookups returns the cumulative number of row accesses served.
-func (t *Table) Lookups() uint64 { return t.lookups.Load() }
+func (t *Table) Lookups() uint64 { return t.lookups.load() }
 
 // ResetLookups zeroes the access counter.
-func (t *Table) ResetLookups() { t.lookups.Store(0) }
+func (t *Table) ResetLookups() { t.lookups.reset() }
 
 // Bag is a batch of pooled lookups in offsets/indices form (one sparse
 // feature, B examples). Example i activates
@@ -123,8 +176,21 @@ func (b Bag) Validate(hashSize int) error {
 }
 
 // Forward sum-pools the bag's rows into out (B×dim). out must be
-// pre-allocated with Batch() rows.
+// pre-allocated with Batch() rows. Counter updates land on stripe 0; the
+// training hot path uses BagForwardInto with a per-worker Scratch.
 func (t *Table) Forward(bag Bag, out *tensor.Matrix) {
+	t.bagForward(bag, out, 0)
+}
+
+// BagForwardInto is the batched pooled-lookup kernel: it walks the whole
+// mini-batch, sum-pooling each example's rows into out (B×dim), and
+// charges the lookup counter on the scratch's stripe. out must be
+// pre-allocated with Batch() rows; sc must not be nil.
+func (t *Table) BagForwardInto(bag Bag, out *tensor.Matrix, sc *Scratch) {
+	t.bagForward(bag, out, sc.stripe)
+}
+
+func (t *Table) bagForward(bag Bag, out *tensor.Matrix, stripe int) {
 	if out.Rows != bag.Batch() || out.Cols != t.Dim {
 		panic(fmt.Sprintf("embedding: output shape %dx%d, want %dx%d",
 			out.Rows, out.Cols, bag.Batch(), t.Dim))
@@ -134,48 +200,105 @@ func (t *Table) Forward(bag Bag, out *tensor.Matrix) {
 		for j := range row {
 			row[j] = 0
 		}
-		for _, ix := range bag.Indices[bag.Offsets[i]:bag.Offsets[i+1]] {
-			tensor.AddTo(row, t.Weights.Row(int(ix)))
+		idxs := bag.Indices[bag.Offsets[i]:bag.Offsets[i+1]]
+		k := 0
+		for ; k+2 <= len(idxs); k += 2 {
+			tensor.AddTo2(row, t.Weights.Row(int(idxs[k])), t.Weights.Row(int(idxs[k+1])))
+		}
+		if k < len(idxs) {
+			tensor.AddTo(row, t.Weights.Row(int(idxs[k])))
 		}
 	}
-	t.lookups.Add(uint64(bag.TotalLookups()))
+	t.lookups.add(stripe, uint64(bag.TotalLookups()))
 }
 
 // SparseGrad accumulates per-row gradients for one table across a batch.
 // With sum pooling, the gradient of every activated row in example i is
 // the example's pooled-output gradient.
+//
+// Storage is a flat slab indexed by a row→slot map so that Reset retains
+// every buffer: at steady state (Reset + re-accumulate each step) the
+// accumulator performs zero allocations. Iteration order (ForEach,
+// RowIDs) is first-touch order, which also makes optimizer application
+// deterministic.
 type SparseGrad struct {
 	Dim  int
-	Rows map[int32][]float32
+	slot map[int32]int32 // row id -> slot index
+	keys []int32         // slot -> row id, in first-touch order
+	buf  []float32       // len(keys)*Dim slab of gradient rows
 }
 
 // NewSparseGrad returns an empty accumulator for rows of width dim.
 func NewSparseGrad(dim int) *SparseGrad {
-	return &SparseGrad{Dim: dim, Rows: make(map[int32][]float32)}
+	return &SparseGrad{Dim: dim, slot: make(map[int32]int32)}
+}
+
+// grabRow returns the slab row for ix, claiming and zeroing a fresh slot
+// on first touch.
+func (s *SparseGrad) grabRow(ix int32) []float32 {
+	if si, ok := s.slot[ix]; ok {
+		return s.buf[int(si)*s.Dim : (int(si)+1)*s.Dim]
+	}
+	si := len(s.keys)
+	s.slot[ix] = int32(si)
+	s.keys = append(s.keys, ix)
+	need := (si + 1) * s.Dim
+	if need <= cap(s.buf) {
+		s.buf = s.buf[:need]
+	} else {
+		s.buf = append(s.buf, make([]float32, need-len(s.buf))...)
+	}
+	row := s.buf[si*s.Dim : need]
+	clear(row)
+	return row
 }
 
 // Add accumulates g into row ix.
 func (s *SparseGrad) Add(ix int32, g []float32) {
-	row, ok := s.Rows[ix]
+	tensor.AddTo(s.grabRow(ix), g)
+}
+
+// Row returns the accumulated gradient for row ix, if present.
+func (s *SparseGrad) Row(ix int32) ([]float32, bool) {
+	si, ok := s.slot[ix]
 	if !ok {
-		row = make([]float32, s.Dim)
-		s.Rows[ix] = row
+		return nil, false
 	}
-	tensor.AddTo(row, g)
+	return s.buf[int(si)*s.Dim : (int(si)+1)*s.Dim], true
+}
+
+// RowIDs returns the touched row ids in first-touch order. The slice is
+// owned by the accumulator and valid until the next Reset.
+func (s *SparseGrad) RowIDs() []int32 { return s.keys }
+
+// ForEach visits every touched row in first-touch order.
+func (s *SparseGrad) ForEach(fn func(ix int32, g []float32)) {
+	for si, ix := range s.keys {
+		fn(ix, s.buf[si*s.Dim:(si+1)*s.Dim])
+	}
 }
 
 // NumRows returns the number of distinct rows touched.
-func (s *SparseGrad) NumRows() int { return len(s.Rows) }
+func (s *SparseGrad) NumRows() int { return len(s.keys) }
 
-// Reset clears the accumulator, retaining allocated rows for reuse.
+// Reset clears the accumulator, retaining all allocated storage for
+// reuse.
 func (s *SparseGrad) Reset() {
-	for k := range s.Rows {
-		delete(s.Rows, k)
-	}
+	clear(s.slot)
+	s.keys = s.keys[:0]
+	s.buf = s.buf[:0]
 }
 
 // Backward scatters dOut (B×dim) into a SparseGrad for this table.
 func (t *Table) Backward(bag Bag, dOut *tensor.Matrix, acc *SparseGrad) {
+	t.BagBackward(bag, dOut, acc)
+}
+
+// BagBackward is the batched gradient-scatter kernel: it walks the whole
+// mini-batch, accumulating each example's pooled-output gradient into the
+// rows it activated. Reusing acc across steps (Reset between batches)
+// makes the scatter allocation-free at steady state.
+func (t *Table) BagBackward(bag Bag, dOut *tensor.Matrix, acc *SparseGrad) {
 	if dOut.Rows != bag.Batch() || dOut.Cols != t.Dim {
 		panic(fmt.Sprintf("embedding: grad shape %dx%d, want %dx%d",
 			dOut.Rows, dOut.Cols, bag.Batch(), t.Dim))

@@ -1,6 +1,7 @@
 package embedding
 
 import (
+	"hash/fnv"
 	"math"
 	"testing"
 	"testing/quick"
@@ -48,6 +49,45 @@ func TestHashIndexInRangeAndDeterministic(t *testing.T) {
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
 	}
+}
+
+// TestHashIndexMatchesStdlibFNV pins the inlined FNV-1a to the previous
+// implementation (hash/fnv over the 8 little-endian bytes of the raw ID):
+// any divergence would silently remap every trained embedding row.
+func TestHashIndexMatchesStdlibFNV(t *testing.T) {
+	ref := func(hashSize int, rawID uint64) int32 {
+		h := fnv.New64a()
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(rawID >> (8 * i))
+		}
+		h.Write(buf[:])
+		return int32(h.Sum64() % uint64(hashSize))
+	}
+	for _, hashSize := range []int{1, 2, 997, 100000, 1 << 20} {
+		tab := NewTable("t", hashSize, 4, xrand.New(11))
+		for _, id := range []uint64{0, 1, 2, 255, 256, 65535, 1 << 31, 1<<63 - 1, ^uint64(0)} {
+			if got, want := tab.HashIndex(id), ref(hashSize, id); got != want {
+				t.Fatalf("HashIndex(%d) with hashSize %d = %d, want %d (stdlib fnv)",
+					id, hashSize, got, want)
+			}
+		}
+		f := func(id uint64) bool { return tab.HashIndex(id) == ref(hashSize, id) }
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("hashSize %d: %v", hashSize, err)
+		}
+	}
+}
+
+// TestHashIndexNoAllocs guards the satellite fix: the per-lookup
+// hash.Hash64 heap allocation is gone.
+func TestHashIndexNoAllocs(t *testing.T) {
+	tab := NewTable("t", 997, 4, xrand.New(12))
+	var sink int32
+	if avg := testing.AllocsPerRun(100, func() { sink = tab.HashIndex(123456789) }); avg != 0 {
+		t.Errorf("HashIndex allocates %.1f objects per call, want 0", avg)
+	}
+	_ = sink
 }
 
 func TestHashIndexSpread(t *testing.T) {
@@ -128,15 +168,62 @@ func TestBackwardScatter(t *testing.T) {
 		t.Fatalf("NumRows = %d, want 2", sg.NumRows())
 	}
 	// Row 0 only from example 0: [1,2]. Row 1 from both: [11,22].
-	if g := sg.Rows[0]; g[0] != 1 || g[1] != 2 {
-		t.Errorf("row0 grad = %v", g)
+	if g, ok := sg.Row(0); !ok || g[0] != 1 || g[1] != 2 {
+		t.Errorf("row0 grad = %v (present %v)", g, ok)
 	}
-	if g := sg.Rows[1]; g[0] != 11 || g[1] != 22 {
-		t.Errorf("row1 grad = %v", g)
+	if g, ok := sg.Row(1); !ok || g[0] != 11 || g[1] != 22 {
+		t.Errorf("row1 grad = %v (present %v)", g, ok)
 	}
 	sg.Reset()
 	if sg.NumRows() != 0 {
 		t.Error("Reset failed")
+	}
+}
+
+// TestSparseGradReuseIsAllocFree exercises the slab accumulator's
+// steady-state contract: Reset retains storage, so a second identical
+// accumulation pass allocates nothing.
+func TestSparseGradReuseIsAllocFree(t *testing.T) {
+	tab := NewTable("t", 50, 4, xrand.New(9))
+	bag := NewBag([][]int32{{0, 7, 7}, {13}, {0, 21}})
+	dOut := tensor.New(3, 4)
+	tensor.NormalInit(dOut, 1, xrand.New(10))
+	sg := NewSparseGrad(4)
+	tab.Backward(bag, dOut, sg) // warm the slab and slot map
+	if avg := testing.AllocsPerRun(20, func() {
+		sg.Reset()
+		tab.BagBackward(bag, dOut, sg)
+	}); avg != 0 {
+		t.Errorf("steady-state BagBackward allocates %.1f objects per pass, want 0", avg)
+	}
+	// ForEach visits rows in first-touch order with the right values.
+	var ids []int32
+	sg.ForEach(func(ix int32, g []float32) { ids = append(ids, ix) })
+	if len(ids) != 4 || ids[0] != 0 || ids[1] != 7 || ids[2] != 13 || ids[3] != 21 {
+		t.Errorf("ForEach order = %v, want [0 7 13 21]", ids)
+	}
+	if g, ok := sg.Row(7); !ok || math.Abs(float64(g[0]-2*dOut.At(0, 0))) > 1e-6 {
+		t.Errorf("row 7 grad = %v, want duplicate-weighted %v", g, 2*dOut.At(0, 0))
+	}
+}
+
+// TestStripedLookupCounter checks that scratch-striped counting aggregates
+// across stripes.
+func TestStripedLookupCounter(t *testing.T) {
+	tab := NewTable("t", 10, 2, xrand.New(13))
+	bag := NewBag([][]int32{{0, 1, 2}})
+	out := tensor.New(1, 2)
+	scratches := []*Scratch{NewScratch(), NewScratch(), NewScratch()}
+	for _, sc := range scratches {
+		tab.BagForwardInto(bag, out, sc)
+	}
+	tab.Forward(bag, out) // stripe 0 path
+	if got := tab.Lookups(); got != 12 {
+		t.Errorf("Lookups = %d, want 12 across stripes", got)
+	}
+	tab.ResetLookups()
+	if tab.Lookups() != 0 {
+		t.Error("ResetLookups failed")
 	}
 }
 
@@ -172,7 +259,7 @@ func TestForwardBackwardGradCheck(t *testing.T) {
 		tab.Weights.Data[i] = orig
 		numeric := (fp - fm) / (2 * eps)
 		var analytic float64
-		if g, ok := sg.Rows[int32(probe.row)]; ok {
+		if g, ok := sg.Row(int32(probe.row)); ok {
 			analytic = float64(g[probe.col])
 		}
 		if math.Abs(numeric-analytic) > 1e-3 {
@@ -194,7 +281,7 @@ func TestDuplicateIndexPooling(t *testing.T) {
 	}
 	sg := NewSparseGrad(1)
 	tab.Backward(bag, tensor.FromData(1, 1, []float32{1}), sg)
-	if sg.Rows[3][0] != 2 {
-		t.Errorf("duplicate grad = %v, want 2", sg.Rows[3][0])
+	if g, ok := sg.Row(3); !ok || g[0] != 2 {
+		t.Errorf("duplicate grad = %v, want 2", g)
 	}
 }

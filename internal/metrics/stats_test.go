@@ -2,7 +2,6 @@ package metrics
 
 import (
 	"math"
-	"strings"
 	"testing"
 	"testing/quick"
 
@@ -181,64 +180,5 @@ func TestGeoMean(t *testing.T) {
 	}
 	if g := GeoMean([]float64{-1, 0}); !math.IsNaN(g) {
 		t.Errorf("GeoMean of non-positive = %v, want NaN", g)
-	}
-}
-
-func TestBarChart(t *testing.T) {
-	out := BarChart([]string{"a", "bb"}, []float64{1, 2}, 10)
-	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
-	if len(lines) != 2 {
-		t.Fatalf("lines = %d", len(lines))
-	}
-	if !strings.Contains(lines[1], "##########") {
-		t.Errorf("max bar should be full width: %q", lines[1])
-	}
-	if strings.Count(lines[0], "#") != 5 {
-		t.Errorf("half bar: %q", lines[0])
-	}
-}
-
-func TestBarChartPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	BarChart([]string{"a"}, []float64{1, 2}, 10)
-}
-
-func TestHeatmapAndTable(t *testing.T) {
-	h := Heatmap([]string{"r1", "r2"}, []string{"c1", "c2"},
-		[][]float64{{1, 2}, {3, 4}}, "%.0f")
-	if !strings.Contains(h, "r1") || !strings.Contains(h, "c2") || !strings.Contains(h, "4") {
-		t.Errorf("heatmap output:\n%s", h)
-	}
-	tbl := Table([][]string{{"h1", "h2"}, {"a", "b"}})
-	if !strings.Contains(tbl, "h1") || !strings.Contains(tbl, "---") {
-		t.Errorf("table output:\n%s", tbl)
-	}
-	if Table(nil) != "" {
-		t.Error("empty table should render empty")
-	}
-}
-
-func TestSparkline(t *testing.T) {
-	s := Sparkline([]float64{0, 1, 2, 3})
-	if len([]rune(s)) != 4 {
-		t.Errorf("sparkline runes = %d", len([]rune(s)))
-	}
-	if Sparkline(nil) != "" {
-		t.Error("empty sparkline")
-	}
-	flat := Sparkline([]float64{5, 5, 5})
-	if len([]rune(flat)) != 3 {
-		t.Error("flat sparkline length")
-	}
-}
-
-func TestCSV(t *testing.T) {
-	out := CSV([][]string{{"a", "b"}, {"1", "2"}})
-	if out != "a,b\n1,2\n" {
-		t.Errorf("CSV = %q", out)
 	}
 }

@@ -60,40 +60,28 @@ func (l *denseLayer) forward(x *tensor.Matrix) *tensor.Matrix {
 	if l.y == nil || l.y.Rows != x.Rows {
 		l.y = tensor.New(x.Rows, l.out)
 	}
-	tensor.MatMul(l.y, x, l.w)
-	for i := 0; i < l.y.Rows; i++ {
-		row := l.y.Row(i)
-		tensor.AddTo(row, l.b)
-		if l.relu {
-			for j, v := range row {
-				if v < 0 {
-					row[j] = 0
-				}
-			}
-		}
-	}
+	// Fused kernel: matmul, bias, and activation in one pass over l.y.
+	tensor.MatMulBiasReLU(l.y, x, l.w, l.b, l.relu)
 	return l.y
 }
 
 // backward consumes dY (gradient w.r.t. this layer's output), accumulates
 // into gradW/gradB, and returns dX. dY may be mutated in place (the ReLU
-// mask is applied to it).
+// mask is applied to it). Steady-state calls allocate nothing: the weight
+// gradient accumulates in place (MatMulTransAAcc) and the input-gradient
+// buffer is reused across batches.
 func (l *denseLayer) backward(dy *tensor.Matrix) *tensor.Matrix {
-	if l.relu {
-		for i := range dy.Data {
-			if l.y.Data[i] <= 0 {
-				dy.Data[i] = 0
-			}
-		}
-	}
-	// Bias gradient: column sums of dY.
+	// Fused pass: apply the ReLU mask and accumulate the bias gradient
+	// (column sums of dY) row-by-row while each row is cache-hot.
 	for i := 0; i < dy.Rows; i++ {
-		tensor.AddTo(l.gradB, dy.Row(i))
+		drow := dy.Row(i)
+		if l.relu {
+			tensor.ReLUGradInto(drow, l.y.Row(i))
+		}
+		tensor.AddTo(l.gradB, drow)
 	}
-	// Weight gradient: Xᵀ·dY, accumulated.
-	gw := tensor.New(l.in, l.out)
-	tensor.MatMulTransA(gw, l.x, dy)
-	l.gradW.Add(gw)
+	// Weight gradient: Xᵀ·dY, accumulated in place.
+	tensor.MatMulTransAAcc(l.gradW, l.x, dy)
 	// Input gradient: dY·Wᵀ.
 	if l.dxB == nil || l.dxB.Rows != dy.Rows {
 		l.dxB = tensor.New(dy.Rows, l.in)

@@ -68,11 +68,11 @@ type SparseSGD struct {
 	Table *embedding.Table
 }
 
-// Apply updates only the rows present in sg.
+// Apply updates only the rows present in sg, in first-touch order.
 func (s *SparseSGD) Apply(sg *embedding.SparseGrad) {
-	for ix, g := range sg.Rows {
+	sg.ForEach(func(ix int32, g []float32) {
 		tensor.Axpy(-s.LR, g, s.Table.Weights.Row(int(ix)))
-	}
+	})
 }
 
 // RowWiseAdagrad is the memory-efficient sparse AdaGrad variant used for
@@ -96,10 +96,11 @@ func NewRowWiseAdagrad(table *embedding.Table, lr float32) *RowWiseAdagrad {
 	}
 }
 
-// Apply updates the rows present in sg using the row-wise accumulator.
+// Apply updates the rows present in sg using the row-wise accumulator,
+// in first-touch order.
 func (r *RowWiseAdagrad) Apply(sg *embedding.SparseGrad) {
 	dim := float32(r.Table.Dim)
-	for ix, g := range sg.Rows {
+	sg.ForEach(func(ix int32, g []float32) {
 		var sq float32
 		for _, v := range g {
 			sq += v * v
@@ -107,7 +108,7 @@ func (r *RowWiseAdagrad) Apply(sg *embedding.SparseGrad) {
 		r.accum[ix] += sq / dim
 		scale := -r.LR / (float32(math.Sqrt(float64(r.accum[ix]))) + r.Eps)
 		tensor.Axpy(scale, g, r.Table.Weights.Row(int(ix)))
-	}
+	})
 }
 
 // EASGDSync performs one elastic-averaging exchange between a worker

@@ -1,0 +1,201 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// Naive O(mnk) reference kernels the tiled/parallel/fused production
+// kernels are verified against. naiveMatMul lives in matrix_test.go.
+
+func naiveMatMulTransB(a, b *Matrix) *Matrix {
+	dst := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Rows; j++ {
+			var s float32
+			for p := 0; p < a.Cols; p++ {
+				s += a.At(i, p) * b.At(j, p)
+			}
+			dst.Set(i, j, s)
+		}
+	}
+	return dst
+}
+
+func naiveMatMulTransA(a, b *Matrix) *Matrix {
+	dst := New(a.Cols, b.Cols)
+	for i := 0; i < a.Cols; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float32
+			for p := 0; p < a.Rows; p++ {
+				s += a.At(p, i) * b.At(p, j)
+			}
+			dst.Set(i, j, s)
+		}
+	}
+	return dst
+}
+
+func naiveBiasReLU(y *Matrix, bias []float32, relu bool) {
+	for i := 0; i < y.Rows; i++ {
+		row := y.Row(i)
+		for j := range row {
+			row[j] += bias[j]
+			if relu && row[j] < 0 {
+				row[j] = 0
+			}
+		}
+	}
+}
+
+func randShaped(rng *xrand.RNG, rows, cols int) *Matrix {
+	return randomMatrix(rng, rows, cols)
+}
+
+// kernelShapes covers the edge geometry called out in the issue: 1×1,
+// prime dims, rows smaller than the worker count, single rows/columns,
+// and shapes big enough (work > parallelThreshold) to engage the pool.
+var kernelShapes = []struct{ m, k, n int }{
+	{1, 1, 1},
+	{1, 17, 1},
+	{2, 3, 2},
+	{3, 7, 5},
+	{13, 1, 31},
+	{31, 29, 37},
+	{5, 64, 3},
+	{2, 300, 300},  // rows < workers, parallel-sized work
+	{64, 64, 64},   // parallel-sized
+	{40, 257, 129}, // parallel-sized, tile-straddling odd dims
+	{97, 256, 32},  // k == tileK boundary
+	{33, 512, 65},  // multiple k panels, odd row tile remainder
+}
+
+func checkAllKernels(t *testing.T, label string) {
+	t.Helper()
+	rng := xrand.New(42)
+	const eps = 1e-3
+	for _, sh := range kernelShapes {
+		name := fmt.Sprintf("%s/%dx%dx%d", label, sh.m, sh.k, sh.n)
+		a := randShaped(rng, sh.m, sh.k)
+		b := randShaped(rng, sh.k, sh.n)
+		bT := randShaped(rng, sh.n, sh.k)
+		bias := randShaped(rng, 1, sh.n).Data
+
+		dst := New(sh.m, sh.n)
+		MatMul(dst, a, b)
+		if !dst.Equal(naiveMatMul(a, b), eps) {
+			t.Errorf("%s: MatMul differs from naive reference", name)
+		}
+
+		for _, relu := range []bool{false, true} {
+			MatMulBiasReLU(dst, a, b, bias, relu)
+			want := naiveMatMul(a, b)
+			naiveBiasReLU(want, bias, relu)
+			if !dst.Equal(want, eps) {
+				t.Errorf("%s: MatMulBiasReLU(relu=%v) differs from naive reference", name, relu)
+			}
+		}
+
+		dstT := New(sh.m, sh.n)
+		MatMulTransB(dstT, a, bT)
+		if !dstT.Equal(naiveMatMulTransB(a, bT), eps) {
+			t.Errorf("%s: MatMulTransB differs from naive reference", name)
+		}
+
+		// For aᵀ·b the shared dim is the row count: use a as k×m.
+		at := randShaped(rng, sh.k, sh.m)
+		dstA := New(sh.m, sh.n)
+		MatMulTransA(dstA, at, b)
+		want := naiveMatMulTransA(at, b)
+		if !dstA.Equal(want, eps) {
+			t.Errorf("%s: MatMulTransA differs from naive reference", name)
+		}
+
+		// Accumulating variant: dst0 + aᵀ·b.
+		acc := randShaped(rng, sh.m, sh.n)
+		wantAcc := acc.Clone()
+		wantAcc.Add(want)
+		MatMulTransAAcc(acc, at, b)
+		if !acc.Equal(wantAcc, eps) {
+			t.Errorf("%s: MatMulTransAAcc differs from naive reference", name)
+		}
+	}
+}
+
+func TestKernelsMatchNaive(t *testing.T) {
+	checkAllKernels(t, "default")
+}
+
+// TestKernelsMatchNaiveSerial pins GOMAXPROCS=1 so every kernel takes the
+// serial path regardless of host parallelism.
+func TestKernelsMatchNaiveSerial(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	checkAllKernels(t, "gomaxprocs1")
+}
+
+// TestKernelsMatchNaiveParallel raises GOMAXPROCS so the worker pool
+// engages even on single-core CI runners.
+func TestKernelsMatchNaiveParallel(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	checkAllKernels(t, "gomaxprocs4")
+}
+
+// TestKernelsConcurrentCallers hammers the shared worker pool from many
+// goroutines at once (the Hogwild pattern) and checks every result.
+func TestKernelsConcurrentCallers(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	rng := xrand.New(7)
+	a := randShaped(rng, 48, 256)
+	b := randShaped(rng, 256, 96)
+	want := naiveMatMul(a, b)
+	done := make(chan bool)
+	const callers = 8
+	for c := 0; c < callers; c++ {
+		go func() {
+			dst := New(48, 96)
+			for i := 0; i < 20; i++ {
+				MatMul(dst, a, b)
+			}
+			done <- dst.Equal(want, 1e-3)
+		}()
+	}
+	for c := 0; c < callers; c++ {
+		if !<-done {
+			t.Fatal("concurrent MatMul produced a wrong result")
+		}
+	}
+}
+
+func TestReLUGradInto(t *testing.T) {
+	y := []float32{-1, 0, 0.5, 2, -0.1}
+	dy := []float32{1, 2, 3, 4, 5}
+	ReLUGradInto(dy, y)
+	want := []float32{0, 0, 3, 4, 0}
+	for i := range want {
+		if dy[i] != want[i] {
+			t.Fatalf("dy = %v, want %v", dy, want)
+		}
+	}
+}
+
+// TestSerialKernelsAllocFree guards the zero-allocation property of the
+// serial dispatch path that the Trainer.Step alloc budget depends on.
+func TestSerialKernelsAllocFree(t *testing.T) {
+	rng := xrand.New(3)
+	a := randShaped(rng, 16, 32)
+	b := randShaped(rng, 32, 8)
+	bias := randShaped(rng, 1, 8).Data
+	dst := New(16, 8)
+	if avg := testing.AllocsPerRun(20, func() {
+		MatMul(dst, a, b)
+		MatMulBiasReLU(dst, a, b, bias, true)
+	}); avg != 0 {
+		t.Errorf("serial kernels allocate %.1f objects per call, want 0", avg)
+	}
+}

@@ -1,7 +1,9 @@
 // Package tensor implements the dense float32 linear-algebra kernels that
-// the DLRM training stack is built on: matrices, parallel blocked matrix
-// multiplication (including transposed variants needed by backpropagation),
-// and vector primitives.
+// the DLRM training stack is built on: matrices, cache-tiled parallel
+// matrix multiplication (including transposed variants needed by
+// backpropagation), fused bias/activation epilogues, and vector
+// primitives. Parallel kernels run on a persistent worker pool (pool.go);
+// design rationale is documented in DESIGN.md.
 //
 // The package is deliberately small and allocation-conscious: every kernel
 // writes into a caller-provided destination so the training loop can reuse
@@ -11,8 +13,6 @@ package tensor
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 )
 
 // Matrix is a dense row-major float32 matrix.
@@ -117,8 +117,17 @@ func (m *Matrix) mustSameShape(other *Matrix) {
 }
 
 // parallelThreshold is the FLOP count above which matmuls fan out across
-// goroutines. Below it the goroutine overhead exceeds the win.
+// the persistent worker pool (pool.go). Below it the hand-off overhead
+// exceeds the win.
 const parallelThreshold = 1 << 17
+
+// Cache tile sizes (see DESIGN.md). A tileRows×n destination tile plus a
+// tileK×n panel of the streamed operand stay resident in L2 while the
+// panel is reused across the tile's rows.
+const (
+	tileRows = 32
+	tileK    = 256
+)
 
 // MatMul computes dst = a·b where a is m×k and b is k×n. dst must be m×n
 // and must not alias a or b.
@@ -127,28 +136,190 @@ func MatMul(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: MatMul dims (%dx%d)·(%dx%d)->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	parallelRows(a.Rows, a.Rows*a.Cols*b.Cols, func(r0, r1 int) {
-		matMulRange(dst, a, b, r0, r1)
-	})
+	dispatch(kMatMul, dst, a, b, nil, false, a.Rows, a.Rows*a.Cols*b.Cols)
 }
 
-// matMulRange computes rows [r0, r1) of dst = a·b using the cache-friendly
-// i-k-j loop order with the inner loop vectorizable by the compiler.
+// MatMulBiasReLU computes dst = a·b + bias (broadcast over rows), applying
+// ReLU in place when relu is true — the fused forward kernel of one dense
+// layer. bias must have len b.Cols; dst must be m×n and must not alias a
+// or b. The epilogue runs on each destination tile while it is still
+// cache-resident, replacing the matmul→bias→ReLU triple pass over memory.
+func MatMulBiasReLU(dst, a, b *Matrix, bias []float32, relu bool) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulBiasReLU dims (%dx%d)·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	if len(bias) != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulBiasReLU bias len %d, want %d", len(bias), b.Cols))
+	}
+	dispatch(kMatMulBiasReLU, dst, a, b, bias, relu, a.Rows, a.Rows*a.Cols*b.Cols)
+}
+
+// Register-blocked micro-kernels. Go's compiler does not auto-vectorize,
+// so the scalar loops are shaped for instruction-level parallelism
+// instead: axpy2 folds two rank-1 row updates into one pass over the
+// destination (halving its load/store traffic), and dot2 computes two
+// inner products sharing the left operand's loads across four independent
+// accumulator chains.
+
+// axpy2 computes y += a0*x0 + a1*x1 in one pass.
+func axpy2(a0 float32, x0 []float32, a1 float32, x1 []float32, y []float32) {
+	n := min(len(y), min(len(x0), len(x1)))
+	x0, x1, y = x0[:n], x1[:n], y[:n]
+	i := 0
+	for ; i+2 <= n; i += 2 {
+		y[i] += a0*x0[i] + a1*x1[i]
+		y[i+1] += a0*x0[i+1] + a1*x1[i+1]
+	}
+	if i < n {
+		y[i] += a0*x0[i] + a1*x1[i]
+	}
+}
+
+// axpy4 computes y += a0*x0 + a1*x1 + a2*x2 + a3*x3 in one pass: four
+// rank-1 updates per destination load/store.
+func axpy4(a0 float32, x0 []float32, a1 float32, x1 []float32,
+	a2 float32, x2 []float32, a3 float32, x3 []float32, y []float32) {
+	n := min(min(len(y), min(len(x0), len(x1))), min(len(x2), len(x3)))
+	x0, x1, x2, x3, y = x0[:n], x1[:n], x2[:n], x3[:n], y[:n]
+	i := 0
+	for ; i+2 <= n; i += 2 {
+		y[i] += a0*x0[i] + a1*x1[i] + a2*x2[i] + a3*x3[i]
+		y[i+1] += a0*x0[i+1] + a1*x1[i+1] + a2*x2[i+1] + a3*x3[i+1]
+	}
+	if i < n {
+		y[i] += a0*x0[i] + a1*x1[i] + a2*x2[i] + a3*x3[i]
+	}
+}
+
+// dot4 returns (a·b0, a·b1, a·b2, a·b3) computed in one pass over a:
+// eight independent accumulator chains sharing each pair of a loads.
+func dot4(a, b0, b1, b2, b3 []float32) (r0, r1, r2, r3 float32) {
+	n := min(len(a), min(min(len(b0), len(b1)), min(len(b2), len(b3))))
+	a, b0, b1, b2, b3 = a[:n], b0[:n], b1[:n], b2[:n], b3[:n]
+	var s00, s01, s10, s11, s20, s21, s30, s31 float32
+	i := 0
+	for ; i+2 <= n; i += 2 {
+		a0, a1 := a[i], a[i+1]
+		s00 += a0 * b0[i]
+		s01 += a1 * b0[i+1]
+		s10 += a0 * b1[i]
+		s11 += a1 * b1[i+1]
+		s20 += a0 * b2[i]
+		s21 += a1 * b2[i+1]
+		s30 += a0 * b3[i]
+		s31 += a1 * b3[i+1]
+	}
+	r0, r1, r2, r3 = s00+s01, s10+s11, s20+s21, s30+s31
+	if i < n {
+		r0 += a[i] * b0[i]
+		r1 += a[i] * b1[i]
+		r2 += a[i] * b2[i]
+		r3 += a[i] * b3[i]
+	}
+	return
+}
+
+// dot2 returns (a·b0, a·b1) computed in one pass over a.
+func dot2(a, b0, b1 []float32) (float32, float32) {
+	n := min(len(a), min(len(b0), len(b1)))
+	a, b0, b1 = a[:n], b0[:n], b1[:n]
+	var s00, s01, s10, s11 float32
+	i := 0
+	for ; i+2 <= n; i += 2 {
+		a0, a1 := a[i], a[i+1]
+		s00 += a0 * b0[i]
+		s01 += a1 * b0[i+1]
+		s10 += a0 * b1[i]
+		s11 += a1 * b1[i+1]
+	}
+	r0, r1 := s00+s01, s10+s11
+	if i < n {
+		r0 += a[i] * b0[i]
+		r1 += a[i] * b1[i]
+	}
+	return r0, r1
+}
+
+// axpyPair accumulates drow += a0·x0 + a1·x1, skipping zero coefficients
+// (common after ReLU).
+func axpyPair(a0 float32, x0 []float32, a1 float32, x1 []float32, drow []float32) {
+	switch {
+	case a0 == 0 && a1 == 0:
+	case a1 == 0:
+		Axpy(a0, x0, drow)
+	case a0 == 0:
+		Axpy(a1, x1, drow)
+	default:
+		axpy2(a0, x0, a1, x1, drow)
+	}
+}
+
+// axpyPanel accumulates drow += Σ_p arow[p]·b[row kk+p]. Dense
+// coefficient quads go through axpy4 (one destination pass per four
+// rank-1 updates); quads containing zeros — the post-ReLU case — fall
+// back to pair updates that skip the zero work entirely.
+func axpyPanel(arow []float32, b *Matrix, kk int, drow []float32) {
+	n := b.Cols
+	p := 0
+	for ; p+4 <= len(arow); p += 4 {
+		a0, a1, a2, a3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
+		bi := (kk + p) * n
+		if a0 != 0 && a1 != 0 && a2 != 0 && a3 != 0 {
+			axpy4(a0, b.Data[bi:bi+n], a1, b.Data[bi+n:bi+2*n],
+				a2, b.Data[bi+2*n:bi+3*n], a3, b.Data[bi+3*n:bi+4*n], drow)
+			continue
+		}
+		axpyPair(a0, b.Data[bi:bi+n], a1, b.Data[bi+n:bi+2*n], drow)
+		axpyPair(a2, b.Data[bi+2*n:bi+3*n], a3, b.Data[bi+3*n:bi+4*n], drow)
+	}
+	for ; p < len(arow); p++ {
+		if av := arow[p]; av != 0 {
+			bi := (kk + p) * n
+			Axpy(av, b.Data[bi:bi+n], drow)
+		}
+	}
+}
+
+// matMulRange computes rows [r0, r1) of dst = a·b with the i-k-j loop
+// order, k blocked in tileK panels reused across tileRows-row tiles.
 func matMulRange(dst, a, b *Matrix, r0, r1 int) {
+	matMulBiasReLURange(dst, a, b, nil, false, r0, r1)
+}
+
+func matMulBiasReLURange(dst, a, b *Matrix, bias []float32, relu bool, r0, r1 int) {
 	n := b.Cols
 	k := a.Cols
-	for i := r0; i < r1; i++ {
-		drow := dst.Data[i*n : (i+1)*n]
-		for j := range drow {
-			drow[j] = 0
-		}
-		arow := a.Data[i*k : (i+1)*k]
-		for p, av := range arow {
-			if av == 0 {
-				continue
+	for ii := r0; ii < r1; ii += tileRows {
+		iEnd := min(ii+tileRows, r1)
+		for i := ii; i < iEnd; i++ {
+			drow := dst.Data[i*n : (i+1)*n]
+			for j := range drow {
+				drow[j] = 0
 			}
-			brow := b.Data[p*n : (p+1)*n]
-			Axpy(av, brow, drow)
+		}
+		for kk := 0; kk < k; kk += tileK {
+			kEnd := min(kk+tileK, k)
+			for i := ii; i < iEnd; i++ {
+				drow := dst.Data[i*n : (i+1)*n]
+				arow := a.Data[i*k+kk : i*k+kEnd]
+				axpyPanel(arow, b, kk, drow)
+			}
+		}
+		if bias == nil {
+			continue
+		}
+		// Fused epilogue over the still-hot tile.
+		for i := ii; i < iEnd; i++ {
+			drow := dst.Data[i*n : (i+1)*n]
+			AddTo(drow, bias)
+			if relu {
+				for j, v := range drow {
+					if v < 0 {
+						drow[j] = 0
+					}
+				}
+			}
 		}
 	}
 }
@@ -161,17 +332,36 @@ func MatMulTransB(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: MatMulTransB dims (%dx%d)·(%dx%d)ᵀ->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	parallelRows(a.Rows, a.Rows*a.Cols*b.Rows, func(r0, r1 int) {
-		k := a.Cols
-		n := b.Rows
-		for i := r0; i < r1; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			drow := dst.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				drow[j] = Dot(arow, b.Data[j*k:(j+1)*k])
+	dispatch(kMatMulTransB, dst, a, b, nil, false, a.Rows, a.Rows*a.Cols*b.Rows)
+}
+
+// matMulTransBRange computes rows [r0, r1) of dst = a·bᵀ; b's rows are
+// walked in tileRows panels reused across each tile of a's rows.
+func matMulTransBRange(dst, a, b *Matrix, r0, r1 int) {
+	k := a.Cols
+	n := b.Rows
+	for ii := r0; ii < r1; ii += tileRows {
+		iEnd := min(ii+tileRows, r1)
+		for jj := 0; jj < n; jj += tileRows {
+			jEnd := min(jj+tileRows, n)
+			for i := ii; i < iEnd; i++ {
+				arow := a.Data[i*k : (i+1)*k]
+				drow := dst.Data[i*n : (i+1)*n]
+				j := jj
+				for ; j+4 <= jEnd; j += 4 {
+					drow[j], drow[j+1], drow[j+2], drow[j+3] = dot4(arow,
+						b.Data[j*k:(j+1)*k], b.Data[(j+1)*k:(j+2)*k],
+						b.Data[(j+2)*k:(j+3)*k], b.Data[(j+3)*k:(j+4)*k])
+				}
+				for ; j+2 <= jEnd; j += 2 {
+					drow[j], drow[j+1] = dot2(arow, b.Data[j*k:(j+1)*k], b.Data[(j+1)*k:(j+2)*k])
+				}
+				if j < jEnd {
+					drow[j] = Dot(arow, b.Data[j*k:(j+1)*k])
+				}
 			}
 		}
-	})
+	}
 }
 
 // MatMulTransA computes dst = aᵀ·b where a is k×m and b is k×n. dst must
@@ -182,55 +372,60 @@ func MatMulTransA(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: MatMulTransA dims (%dx%d)ᵀ·(%dx%d)->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	parallelRows(a.Cols, a.Rows*a.Cols*b.Cols, func(r0, r1 int) {
-		m := a.Cols
-		n := b.Cols
-		for i := r0; i < r1; i++ {
-			drow := dst.Data[i*n : (i+1)*n]
-			for j := range drow {
-				drow[j] = 0
-			}
-			for p := 0; p < a.Rows; p++ {
-				av := a.Data[p*m+i]
-				if av == 0 {
-					continue
-				}
-				Axpy(av, b.Data[p*n:(p+1)*n], drow)
-			}
-		}
-	})
+	dispatch(kMatMulTransA, dst, a, b, nil, false, a.Cols, a.Rows*a.Cols*b.Cols)
 }
 
-// parallelRows splits [0, rows) into contiguous chunks and runs fn on each,
-// in parallel when work (a FLOP estimate) justifies it.
-func parallelRows(rows, work int, fn func(r0, r1 int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if rows == 0 {
-		return
+// MatMulTransAAcc computes dst += aᵀ·b — the accumulate-fused weight
+// gradient kernel. Backprop adds dW = Xᵀ·dY into the running gradient
+// directly, eliminating the scratch matrix and the extra add pass.
+func MatMulTransAAcc(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransAAcc dims (%dx%d)ᵀ·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	if work < parallelThreshold || workers < 2 || rows < 2 {
-		fn(0, rows)
-		return
-	}
-	if workers > rows {
-		workers = rows
-	}
-	var wg sync.WaitGroup
-	chunk := (rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		r0 := w * chunk
-		r1 := r0 + chunk
-		if r1 > rows {
-			r1 = rows
+	dispatch(kMatMulTransAAcc, dst, a, b, nil, false, a.Cols, a.Rows*a.Cols*b.Cols)
+}
+
+func matMulTransARange(dst, a, b *Matrix, r0, r1 int) {
+	n := b.Cols
+	for i := r0; i < r1; i++ {
+		drow := dst.Data[i*n : (i+1)*n]
+		for j := range drow {
+			drow[j] = 0
 		}
-		if r0 >= r1 {
-			break
-		}
-		wg.Add(1)
-		go func(r0, r1 int) {
-			defer wg.Done()
-			fn(r0, r1)
-		}(r0, r1)
 	}
-	wg.Wait()
+	matMulTransAAccRange(dst, a, b, r0, r1)
+}
+
+// matMulTransAAccRange accumulates rows [r0, r1) of dst += aᵀ·b (rows of
+// dst index columns of a), blocking the shared row dimension of a/b in
+// tileK panels so the streamed b panel is reused across the output range.
+func matMulTransAAccRange(dst, a, b *Matrix, r0, r1 int) {
+	m := a.Cols
+	n := b.Cols
+	for pp := 0; pp < a.Rows; pp += tileK {
+		pEnd := min(pp+tileK, a.Rows)
+		for i := r0; i < r1; i++ {
+			drow := dst.Data[i*n : (i+1)*n]
+			p := pp
+			for ; p+4 <= pEnd; p += 4 {
+				av0 := a.Data[p*m+i]
+				av1 := a.Data[(p+1)*m+i]
+				av2 := a.Data[(p+2)*m+i]
+				av3 := a.Data[(p+3)*m+i]
+				if av0 != 0 && av1 != 0 && av2 != 0 && av3 != 0 {
+					axpy4(av0, b.Data[p*n:(p+1)*n], av1, b.Data[(p+1)*n:(p+2)*n],
+						av2, b.Data[(p+2)*n:(p+3)*n], av3, b.Data[(p+3)*n:(p+4)*n], drow)
+					continue
+				}
+				axpyPair(av0, b.Data[p*n:(p+1)*n], av1, b.Data[(p+1)*n:(p+2)*n], drow)
+				axpyPair(av2, b.Data[(p+2)*n:(p+3)*n], av3, b.Data[(p+3)*n:(p+4)*n], drow)
+			}
+			for ; p < pEnd; p++ {
+				if av := a.Data[p*m+i]; av != 0 {
+					Axpy(av, b.Data[p*n:(p+1)*n], drow)
+				}
+			}
+		}
+	}
 }

@@ -1,0 +1,145 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the persistent worker pool behind the parallel
+// kernels. Design notes live in DESIGN.md; the short version:
+//
+//   - Workers are lazily started once and live for the process lifetime,
+//     so the hot path never pays a goroutine spawn.
+//   - A parallel invocation is described by a job carrying typed operands
+//     (not a closure), so dispatching allocates nothing: closures passed
+//     across goroutines escape to the heap, kernel kinds do not.
+//   - Jobs are recycled through a sync.Pool, and workers plus the
+//     submitting goroutine claim row chunks from a shared atomic cursor,
+//     which load-balances skewed rows without per-chunk channel traffic.
+
+// kernelKind enumerates the range kernels the pool can run.
+type kernelKind uint8
+
+const (
+	kMatMul kernelKind = iota
+	kMatMulBiasReLU
+	kMatMulTransB
+	kMatMulTransA
+	kMatMulTransAAcc
+)
+
+// job is one parallel kernel invocation over the row space [0, rows).
+type job struct {
+	kind kernelKind
+	dst  *Matrix
+	a, b *Matrix
+	bias []float32
+	relu bool
+
+	rows   int
+	chunk  int
+	cursor atomic.Int64
+	done   sync.WaitGroup
+}
+
+// runRange executes the job's kernel over rows [r0, r1).
+func (j *job) runRange(r0, r1 int) {
+	switch j.kind {
+	case kMatMul:
+		matMulRange(j.dst, j.a, j.b, r0, r1)
+	case kMatMulBiasReLU:
+		matMulBiasReLURange(j.dst, j.a, j.b, j.bias, j.relu, r0, r1)
+	case kMatMulTransB:
+		matMulTransBRange(j.dst, j.a, j.b, r0, r1)
+	case kMatMulTransA:
+		matMulTransARange(j.dst, j.a, j.b, r0, r1)
+	case kMatMulTransAAcc:
+		matMulTransAAccRange(j.dst, j.a, j.b, r0, r1)
+	}
+}
+
+// drain claims chunks from the cursor until the row space is exhausted.
+func (j *job) drain() {
+	for {
+		r0 := int(j.cursor.Add(int64(j.chunk))) - j.chunk
+		if r0 >= j.rows {
+			return
+		}
+		r1 := r0 + j.chunk
+		if r1 > j.rows {
+			r1 = j.rows
+		}
+		j.runRange(r0, r1)
+	}
+}
+
+var (
+	poolOnce    sync.Once
+	poolCh      chan *job
+	poolWorkers int
+	jobPool     = sync.Pool{New: func() any { return new(job) }}
+)
+
+// startPool spawns the persistent helpers. The count is fixed at first
+// use: GOMAXPROCS-1 helpers (the submitter is the remaining worker), with
+// a floor of 2 so tests that raise GOMAXPROCS after init still exercise
+// true cross-goroutine execution.
+func startPool() {
+	poolWorkers = runtime.GOMAXPROCS(0) - 1
+	if poolWorkers < 2 {
+		poolWorkers = 2
+	}
+	poolCh = make(chan *job)
+	for i := 0; i < poolWorkers; i++ {
+		go func() {
+			for j := range poolCh {
+				j.drain()
+				j.done.Done()
+			}
+		}()
+	}
+}
+
+// dispatch runs the kernel serially when the FLOP estimate is below
+// parallelThreshold (or only one P is available) and through the worker
+// pool otherwise. The serial path performs zero allocations; the parallel
+// path recycles its job and so is allocation-free at steady state.
+func dispatch(kind kernelKind, dst, a, b *Matrix, bias []float32, relu bool, rows, work int) {
+	if rows == 0 {
+		return
+	}
+	if work < parallelThreshold || rows < 2 || runtime.GOMAXPROCS(0) < 2 {
+		j := job{kind: kind, dst: dst, a: a, b: b, bias: bias, relu: relu}
+		j.runRange(0, rows)
+		return
+	}
+	poolOnce.Do(startPool)
+	j := jobPool.Get().(*job)
+	j.kind, j.dst, j.a, j.b, j.bias, j.relu = kind, dst, a, b, bias, relu
+	j.rows = rows
+	// ~4 chunks per participant keeps the cursor cheap while still
+	// smoothing uneven per-row cost.
+	j.chunk = rows / (4 * (poolWorkers + 1))
+	if j.chunk < 1 {
+		j.chunk = 1
+	}
+	j.cursor.Store(0)
+	// Hand the job to idle helpers only: if every helper is busy (e.g.
+	// many Hogwild threads issuing matmuls at once) the submitter simply
+	// does the work itself, which self-balances the pool.
+fanout:
+	for i := 0; i < poolWorkers; i++ {
+		j.done.Add(1)
+		select {
+		case poolCh <- j:
+		default:
+			j.done.Done()
+			break fanout
+		}
+	}
+	j.drain()
+	j.done.Wait()
+	j.dst, j.a, j.b, j.bias = nil, nil, nil, nil
+	jobPool.Put(j)
+}

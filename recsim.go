@@ -5,7 +5,11 @@
 // It bundles four capabilities:
 //
 //   - a real DLRM training stack (models, embedding tables, optimizers,
-//     synthetic click data, single-node and distributed trainers);
+//     synthetic click data, single-node and distributed trainers) whose
+//     hot path is allocation-free and kernel-fused: tiled GEMM variants
+//     on a persistent worker pool, fused bias/ReLU epilogues, slab
+//     sparse gradients, and recycled batch arenas (see DESIGN.md and
+//     cmd/benchrun for the measured trajectory);
 //   - an analytic + discrete-event performance model of the paper's
 //     hardware platforms (dual-socket CPU, Big Basin, Zion) and embedding
 //     placement strategies;
@@ -135,6 +139,12 @@ func Platforms() []Platform { return hw.Platforms() }
 // PlatformByName resolves "DualSocketCPU", "BigBasin", or "Zion".
 func PlatformByName(name string) (Platform, error) { return hw.ByName(name) }
 
+// UniformSparse builds n identical sparse features, the §V test-suite
+// convention (re-exported from the core config helpers).
+func UniformSparse(n, hashSize int, meanPooled float64) []SparseFeature {
+	return core.UniformSparse(n, hashSize, meanPooled)
+}
+
 // TestSuiteModel builds the paper's §V design-space-exploration model
 // with the given dense and sparse feature counts (MLP 512^3, hash 1e5).
 func TestSuiteModel(dense, sparse int) ModelConfig {
@@ -227,7 +237,7 @@ func RunExperiment(id string, opt ExperimentOptions) (ExperimentResult, error) {
 }
 
 // Version identifies the reproduction release.
-const Version = "1.1.0"
+const Version = "1.2.0"
 
 // Describe returns a one-line summary of a model config.
 func Describe(cfg ModelConfig) string {

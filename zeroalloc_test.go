@@ -1,0 +1,54 @@
+package recsim
+
+import (
+	"testing"
+
+	"repro/internal/benchreport"
+)
+
+// TestTrainStepZeroAlloc is the hot-path allocation budget: after warmup,
+// one full training step (forward, interaction, backward, sparse scatter,
+// dense + sparse optimizer updates) must not touch the heap. AllocsPerRun
+// pins GOMAXPROCS to 1, so the kernels take their serial path and the
+// result is deterministic. Any regression here means a per-step
+// allocation crept back into tensor/nn/embedding/core.
+func TestTrainStepZeroAlloc(t *testing.T) {
+	cfg := benchreport.BenchStepConfig()
+	m := NewModel(cfg, 1)
+	tr := NewTrainer(m, TrainerConfig{LR: 0.05})
+	gen := NewGenerator(cfg, 2)
+	batch := gen.NextBatch(128)
+	// Warm every lazily-sized scratch buffer (activations, interaction
+	// views, sparse-grad slabs, logit/grad buffers).
+	for i := 0; i < 3; i++ {
+		tr.Step(batch)
+	}
+	if avg := testing.AllocsPerRun(10, func() { tr.Step(batch) }); avg != 0 {
+		t.Fatalf("Trainer.Step allocates %.1f objects per step at steady state, want 0", avg)
+	}
+}
+
+// TestNextBatchIntoRecyclesBuffers checks the batch-recycling path reuses
+// storage across draws of the same batch size.
+func TestNextBatchIntoRecyclesBuffers(t *testing.T) {
+	cfg := ModelConfig{
+		Name:          "recycle",
+		DenseFeatures: 8,
+		Sparse:        UniformSparse(2, 1000, 4),
+		EmbeddingDim:  8,
+		BottomMLP:     []int{16},
+		TopMLP:        []int{16},
+		Interaction:   InteractionConcat,
+	}
+	gen := NewGenerator(cfg, 3)
+	mb := gen.NextBatch(64)
+	dense := mb.Dense
+	labels := &mb.Labels[0]
+	got := gen.NextBatchInto(64, mb)
+	if got != mb || got.Dense != dense || &got.Labels[0] != labels {
+		t.Fatal("NextBatchInto did not recycle the dense/label buffers")
+	}
+	if err := got.Validate(&cfg); err != nil {
+		t.Fatalf("recycled batch invalid: %v", err)
+	}
+}
