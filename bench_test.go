@@ -12,6 +12,7 @@ import (
 	"repro/internal/embedding"
 	"repro/internal/experiments"
 	"repro/internal/hw"
+	"repro/internal/hybrid"
 	"repro/internal/perfmodel"
 	"repro/internal/placement"
 	"repro/internal/tensor"
@@ -66,6 +67,27 @@ func BenchmarkTrainStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.Step(batch)
+	}
+	b.ReportMetric(float64(128*b.N)/b.Elapsed().Seconds(), "examples/sec")
+}
+
+// BenchmarkHybridStep measures one synchronous hybrid-parallel step on 2
+// in-process ranks over the same model/batch as BenchmarkTrainStep, so
+// the parallelization overhead (collectives + pack/unpack) is directly
+// readable against the single-process step. cmd/benchrun's hybrid_step
+// entry records the same setup.
+func BenchmarkHybridStep(b *testing.B) {
+	cfg := benchreport.BenchStepConfig()
+	ht, err := hybrid.New(cfg, hybrid.Config{Ranks: 2, LR: 0.05, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ht.Close()
+	gen := NewGenerator(cfg, 2)
+	batch := gen.NextBatch(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ht.Step(batch)
 	}
 	b.ReportMetric(float64(128*b.N)/b.Elapsed().Seconds(), "examples/sec")
 }

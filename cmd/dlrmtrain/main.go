@@ -1,8 +1,12 @@
 // Command dlrmtrain trains a real DLRM on synthetic click data and
 // reports loss, normalized entropy, and throughput — the minimal
-// end-to-end exercise of the training stack.
+// end-to-end exercise of the training stack. -mode=hybrid runs the same
+// workload on the synchronous hybrid-parallel engine (data-parallel MLPs
+// via all-reduce, model-parallel embeddings via all-to-all) and prints
+// the paper-style operator breakdown.
 //
 //	dlrmtrain -dense 64 -sparse 8 -batch 256 -iters 500 -lr 0.05
+//	dlrmtrain -mode hybrid -ranks 4 -batch 256 -iters 500
 package main
 
 import (
@@ -12,8 +16,12 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/hw"
+	"repro/internal/hybrid"
+	"repro/internal/perfmodel"
 	"repro/internal/xrand"
 )
 
@@ -31,10 +39,13 @@ func run(args []string, out io.Writer) error {
 	sparse := fs.Int("sparse", 8, "sparse feature count")
 	hash := fs.Int("hash", 10000, "hash size per table")
 	dim := fs.Int("dim", 16, "embedding dimension")
-	batch := fs.Int("batch", 256, "mini-batch size")
+	batch := fs.Int("batch", 256, "mini-batch size (global, in hybrid mode)")
 	iters := fs.Int("iters", 500, "training iterations")
 	lr := fs.Float64("lr", 0.05, "learning rate")
 	seed := fs.Int64("seed", 1, "seed")
+	mode := fs.String("mode", "single", "trainer: single (one process) or hybrid (synchronous hybrid-parallel)")
+	ranks := fs.Int("ranks", 2, "synchronous ranks in hybrid mode")
+	platform := fs.String("platform", "BigBasin", "platform whose interconnect prices hybrid collectives")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,21 +65,83 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "model: %d dense, %d sparse x %d rows, %s embeddings\n",
 		cfg.DenseFeatures, cfg.NumSparse(), *hash, core.HumanBytes(cfg.EmbeddingBytes()))
 
-	m := core.NewModel(cfg, xrand.New(*seed))
-	tr := core.NewTrainer(m, core.TrainerConfig{Optimizer: core.OptAdagrad, LR: *lr})
-	gen := data.NewGenerator(cfg, *seed+1, data.DefaultOptions())
+	switch *mode {
+	case "single":
+		return runSingle(out, cfg, *batch, *iters, *lr, *seed)
+	case "hybrid":
+		return runHybrid(out, cfg, *batch, *iters, *lr, *seed, *ranks, *platform)
+	default:
+		return fmt.Errorf("dlrmtrain: unknown mode %q (single, hybrid)", *mode)
+	}
+}
+
+func runSingle(out io.Writer, cfg core.Config, batch, iters int, lr float64, seed int64) error {
+	m := core.NewModel(cfg, xrand.New(seed))
+	tr := core.NewTrainer(m, core.TrainerConfig{Optimizer: core.OptAdagrad, LR: lr})
+	gen := data.NewGenerator(cfg, seed+1, data.DefaultOptions())
 
 	start := time.Now()
-	for i := 0; i < *iters; i++ {
-		loss := tr.Step(gen.NextBatch(*batch))
+	for i := 0; i < iters; i++ {
+		loss := tr.Step(gen.NextBatch(batch))
 		if (i+1)%100 == 0 || i == 0 {
 			eval := core.Evaluate(m, gen.Fork(999).EvalSet(4, 256))
 			fmt.Fprintf(out, "iter %5d  loss %.4f  NE %.4f  acc %.4f\n", i+1, loss, eval.NE, eval.Accuracy)
 		}
 	}
-	elapsed := time.Since(start)
-	examples := float64(*iters * *batch)
+	reportThroughput(out, iters, batch, time.Since(start))
+	return nil
+}
+
+func runHybrid(out io.Writer, cfg core.Config, batch, iters int, lr float64, seed int64, ranks int, platform string) error {
+	p, err := hw.ByName(platform)
+	if err != nil {
+		return err
+	}
+	link := collective.LinkFor(p)
+	ht, err := hybrid.New(cfg, hybrid.Config{
+		Ranks: ranks, LR: lr, Seed: seed, Overlap: ranks > 1, Link: link,
+	})
+	if err != nil {
+		return err
+	}
+	defer ht.Close()
+	gen := data.NewGenerator(cfg, seed+1, data.DefaultOptions())
+	fmt.Fprintf(out, "hybrid: %d ranks, link %s, all-reduce overlapped=%v\n",
+		ranks, link.Name, ranks > 1)
+
+	var comp, a2a, ar, exposed, step float64
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		loss, bd := ht.Step(gen.NextBatch(batch))
+		comp += bd.Compute
+		a2a += bd.AllToAll
+		ar += bd.AllReduce
+		exposed += bd.Exposed
+		step += bd.Step
+		if (i+1)%100 == 0 || i == 0 {
+			eval := core.Evaluate(ht.EvalModel(), gen.Fork(999).EvalSet(4, 256))
+			fmt.Fprintf(out, "iter %5d  loss %.4f  NE %.4f  acc %.4f\n", i+1, loss, eval.NE, eval.Accuracy)
+		}
+	}
+	reportThroughput(out, iters, batch, time.Since(start))
+
+	if step > 0 {
+		fmt.Fprintf(out, "step breakdown: compute %.0f%%  all-to-all %.0f%%  all-reduce %.0f%%  exposed comm %.0f%%\n",
+			100*comp/step, 100*a2a/step, 100*ar/step, 100*exposed/step)
+	}
+	if iters > 0 {
+		st := ht.CollectiveStats()
+		fmt.Fprintf(out, "collectives: all-to-all %s/iter (analytic %s), all-reduce %s/iter (analytic %s)\n",
+			core.HumanBytes(st.AllToAll.Bytes/int64(iters)),
+			core.HumanBytes(int64(perfmodel.HybridAllToAllBytes(cfg, batch, ranks))),
+			core.HumanBytes(st.AllReduce.Bytes/int64(iters)),
+			core.HumanBytes(int64(perfmodel.HybridAllReduceBytes(cfg, ranks))))
+	}
+	return nil
+}
+
+func reportThroughput(out io.Writer, iters, batch int, elapsed time.Duration) {
+	examples := float64(iters * batch)
 	fmt.Fprintf(out, "trained %d examples in %v (%.0f examples/sec)\n",
 		int(examples), elapsed.Round(time.Millisecond), examples/elapsed.Seconds())
-	return nil
 }

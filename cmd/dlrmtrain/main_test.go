@@ -24,4 +24,25 @@ func TestRunRejectsBadConfig(t *testing.T) {
 	if err := run([]string{"-dense", "0"}, &out); err == nil {
 		t.Error("zero dense features accepted")
 	}
+	if err := run([]string{"-mode", "async"}, &out); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run([]string{"-mode", "hybrid", "-platform", "TPUv4"}, &out); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}
+
+func TestRunHybridMode(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-mode", "hybrid", "-ranks", "2", "-dense", "8", "-sparse", "4",
+		"-hash", "200", "-dim", "8", "-batch", "32", "-iters", "20"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"hybrid: 2 ranks", "iter", "step breakdown:",
+		"collectives:", "examples/sec"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/embedding"
+	"repro/internal/hybrid"
 	"repro/internal/nn"
 	"repro/internal/tensor"
 	"repro/internal/xrand"
@@ -79,6 +80,35 @@ func DefaultSpecs(filter string) []Spec {
 			Fn: func(iters int) {
 				for i := 0; i < iters; i++ {
 					tr.Step(batch)
+				}
+			},
+		})
+	}
+
+	// End-to-end synchronous hybrid-parallel step on 2 in-process ranks
+	// (BenchmarkHybridStep in the repository root measures the same
+	// setup): model-parallel lookups, pooled all-to-all, data-parallel
+	// dense pass, bucketed all-reduce, sparse scatter.
+	if want("hybrid_step") {
+		cfg := BenchStepConfig()
+		gen := data.NewGenerator(cfg, 2, data.DefaultOptions())
+		batch := gen.NextBatch(benchBatch)
+		// The trainer (and its rank goroutines) starts lazily on first
+		// use and lives for the process, like the tensor worker pool —
+		// building specs must not spawn goroutines the caller never runs.
+		var ht *hybrid.Trainer
+		specs = append(specs, Spec{
+			Name:          "hybrid_step",
+			ExamplesPerOp: benchBatch,
+			Fn: func(iters int) {
+				if ht == nil {
+					var err error
+					if ht, err = hybrid.New(cfg, hybrid.Config{Ranks: 2, LR: 0.05, Seed: 1}); err != nil {
+						panic(err)
+					}
+				}
+				for i := 0; i < iters; i++ {
+					ht.Step(batch)
 				}
 			},
 		})

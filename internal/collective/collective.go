@@ -1,0 +1,319 @@
+// Package collective implements the communication substrate of the
+// synchronous hybrid-parallel trainer (internal/hybrid): an in-process
+// communicator over N ranks (goroutines) providing the collectives the
+// paper's scale-out analysis is built on — ring all-reduce for the
+// data-parallel MLP gradients and all-to-all(v) for the model-parallel
+// pooled-embedding exchange — plus all-gather and broadcast.
+//
+// Ranks rendezvous through a shared slot array and a reusable barrier, so
+// payloads move with plain copies under happens-before edges (race-free
+// under -race) and every reduction applies contributions in a fixed ring
+// order, making results bit-identical across runs regardless of goroutine
+// scheduling. Every operation meters the bytes that cross rank
+// boundaries and the seconds a pluggable Link (bandwidth + latency, see
+// LinkFor) would have charged for them; the meters are what ties the
+// analytic collective-volume formulas in internal/perfmodel to observed
+// traffic.
+package collective
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Op identifies one collective operation kind in the meters.
+type Op int
+
+const (
+	OpAllReduce Op = iota
+	OpAllToAll
+	OpAllGather
+	OpBroadcast
+	numOps
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpAllReduce:
+		return "allreduce"
+	case OpAllToAll:
+		return "alltoall"
+	case OpAllGather:
+		return "allgather"
+	case OpBroadcast:
+		return "broadcast"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// OpStats is the cumulative meter of one operation kind, summed across
+// ranks: Calls counts per-rank invocations, Bytes counts payload bytes
+// that crossed a rank boundary (self-destined data is free), and
+// ModelSec is the total wire time the communicator's Link would have
+// charged (per-rank busy time; divide by the rank count for the
+// wall-clock view of a symmetric collective).
+type OpStats struct {
+	Calls    int64
+	Bytes    int64
+	ModelSec float64
+}
+
+// opCounter is the lock-free accumulator behind OpStats.
+type opCounter struct {
+	calls   atomic.Int64
+	bytes   atomic.Int64
+	modelNs atomic.Int64
+}
+
+func (c *opCounter) add(bytes int64, modelSec float64) {
+	c.calls.Add(1)
+	c.bytes.Add(bytes)
+	c.modelNs.Add(int64(modelSec * 1e9))
+}
+
+func (c *opCounter) load() OpStats {
+	return OpStats{
+		Calls:    c.calls.Load(),
+		Bytes:    c.bytes.Load(),
+		ModelSec: float64(c.modelNs.Load()) / 1e9,
+	}
+}
+
+// Totals is an allocation-free snapshot of every operation meter.
+type Totals struct {
+	AllReduce OpStats
+	AllToAll  OpStats
+	AllGather OpStats
+	Broadcast OpStats
+}
+
+// World is a communicator over n ranks sharing one Link and one set of
+// meters. Collectives run on Groups (see NewGroup); concurrent
+// collectives must use distinct groups.
+type World struct {
+	n     int
+	link  Link
+	stats [numOps]opCounter
+}
+
+// NewWorld builds a communicator over n ranks.
+func NewWorld(n int, link Link) *World {
+	if n <= 0 {
+		panic(fmt.Sprintf("collective: world size %d", n))
+	}
+	return &World{n: n, link: link}
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// Link returns the communicator's wire model.
+func (w *World) Link() Link { return w.link }
+
+// Snapshot returns the cumulative meters without allocating.
+func (w *World) Snapshot() Totals {
+	return Totals{
+		AllReduce: w.stats[OpAllReduce].load(),
+		AllToAll:  w.stats[OpAllToAll].load(),
+		AllGather: w.stats[OpAllGather].load(),
+		Broadcast: w.stats[OpBroadcast].load(),
+	}
+}
+
+// Stats returns the cumulative meters keyed by operation name.
+func (w *World) Stats() map[string]OpStats {
+	m := make(map[string]OpStats, numOps)
+	for op := Op(0); op < numOps; op++ {
+		m[op.String()] = w.stats[op].load()
+	}
+	return m
+}
+
+// NewGroup mints an independent rendezvous context. Every rank must call
+// the same sequence of collectives on a group; two goroutines of the same
+// rank may run collectives concurrently as long as they use different
+// groups (the hybrid trainer overlaps its dense all-reduce with the
+// sparse-gradient all-to-all this way).
+func (w *World) NewGroup() *Group {
+	g := &Group{w: w, bufs: make([][]float32, w.n), vecs: make([][][]float32, w.n)}
+	g.bar.n = w.n
+	g.bar.cond = sync.NewCond(&g.bar.mu)
+	return g
+}
+
+// barrier is a reusable cyclic barrier over n goroutines. sync.Cond keeps
+// the wait allocation-free, which matters for the trainer's steady-state
+// zero-allocation budget.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+func (b *barrier) wait() {
+	if b.n == 1 {
+		return
+	}
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Group is one rendezvous context of a World (see World.NewGroup).
+type Group struct {
+	w    *World
+	bar  barrier
+	bufs [][]float32   // scalar payload slots
+	vecs [][][]float32 // vector payload slots (all-to-all-v)
+}
+
+// chunkRange returns the [lo, hi) element range of ring chunk k when a
+// size-element buffer is split across n ranks. Chunks are contiguous and
+// within one element of each other, so no padding bytes are moved and the
+// metered volume matches the analytic 2·(n-1)/n·size formula exactly.
+func chunkRange(size, n, k int) (int, int) {
+	return k * size / n, (k + 1) * size / n
+}
+
+// AllReduce sums buf element-wise across all ranks, leaving the identical
+// reduced vector in every rank's buf. The implementation is the
+// bandwidth-optimal ring: n-1 reduce-scatter steps followed by n-1
+// all-gather steps, with contributions applied in fixed ring order so the
+// result is bit-identical on every rank and across runs. All ranks must
+// pass buffers of equal length.
+func (g *Group) AllReduce(rank int, buf []float32) {
+	n := g.w.n
+	if n == 1 {
+		g.w.stats[OpAllReduce].add(0, 0)
+		return
+	}
+	g.bufs[rank] = buf
+	g.bar.wait()
+	prev := (rank - 1 + n) % n
+	src := g.bufs[prev]
+	if len(src) != len(buf) {
+		panic(fmt.Sprintf("collective: allreduce length mismatch (%d vs %d)", len(buf), len(src)))
+	}
+	size := len(buf)
+	var moved int64
+	// Reduce-scatter: at step s, pull chunk (rank-1-s) from the previous
+	// rank and accumulate it. After n-1 steps this rank holds the fully
+	// reduced chunk (rank+1).
+	for s := 0; s < n-1; s++ {
+		k := ((rank-1-s)%n + n) % n
+		lo, hi := chunkRange(size, n, k)
+		dst := buf[lo:hi]
+		for i, v := range src[lo:hi] {
+			dst[i] += v
+		}
+		moved += int64(hi-lo) * 4
+		g.bar.wait()
+	}
+	// All-gather: at step s, pull the fully reduced chunk (rank-s) from
+	// the previous rank.
+	for s := 0; s < n-1; s++ {
+		k := ((rank-s)%n + n) % n
+		lo, hi := chunkRange(size, n, k)
+		copy(buf[lo:hi], src[lo:hi])
+		moved += int64(hi-lo) * 4
+		g.bar.wait()
+	}
+	g.w.stats[OpAllReduce].add(moved, g.w.link.xferSec(moved, 2*(n-1)))
+}
+
+// AllToAllV exchanges variable-length payloads: send[j] travels to rank
+// j, and recv[j] is filled with what rank j addressed to this rank.
+// len(recv[j]) must equal len(send[j']) as declared by rank j for this
+// rank. Self-addressed payloads are copied but not metered.
+func (g *Group) AllToAllV(rank int, send, recv [][]float32) {
+	n := g.w.n
+	if len(send) != n || len(recv) != n {
+		panic(fmt.Sprintf("collective: alltoallv needs %d send/recv slots, got %d/%d", n, len(send), len(recv)))
+	}
+	g.vecs[rank] = send
+	g.bar.wait()
+	var moved int64
+	for j := 0; j < n; j++ {
+		src := g.vecs[j][rank]
+		if len(src) != len(recv[j]) {
+			panic(fmt.Sprintf("collective: alltoallv rank %d expects %d floats from rank %d, got %d",
+				rank, len(recv[j]), j, len(src)))
+		}
+		copy(recv[j], src)
+		if j != rank {
+			moved += int64(len(src)) * 4
+		}
+	}
+	g.bar.wait()
+	g.w.stats[OpAllToAll].add(moved, g.w.link.xferSec(moved, n-1))
+}
+
+// AllGather concatenates every rank's send buffer into recv, ordered by
+// rank. All send buffers must have equal length k; recv must have length
+// n·k.
+func (g *Group) AllGather(rank int, send, recv []float32) {
+	n := g.w.n
+	k := len(send)
+	if len(recv) != n*k {
+		panic(fmt.Sprintf("collective: allgather recv length %d, want %d", len(recv), n*k))
+	}
+	g.bufs[rank] = send
+	g.bar.wait()
+	var moved int64
+	for j := 0; j < n; j++ {
+		src := g.bufs[j]
+		if len(src) != k {
+			panic(fmt.Sprintf("collective: allgather length mismatch (%d vs %d)", k, len(src)))
+		}
+		copy(recv[j*k:(j+1)*k], src)
+		if j != rank {
+			moved += int64(k) * 4
+		}
+	}
+	g.bar.wait()
+	g.w.stats[OpAllGather].add(moved, g.w.link.xferSec(moved, n-1))
+}
+
+// Broadcast copies the root rank's buf into every other rank's buf. All
+// ranks must pass buffers of equal length.
+func (g *Group) Broadcast(rank, root int, buf []float32) {
+	n := g.w.n
+	if root < 0 || root >= n {
+		panic(fmt.Sprintf("collective: broadcast root %d of %d ranks", root, n))
+	}
+	if n == 1 {
+		g.w.stats[OpBroadcast].add(0, 0)
+		return
+	}
+	g.bufs[rank] = buf
+	g.bar.wait()
+	var moved int64
+	if rank != root {
+		src := g.bufs[root]
+		if len(src) != len(buf) {
+			panic(fmt.Sprintf("collective: broadcast length mismatch (%d vs %d)", len(buf), len(src)))
+		}
+		copy(buf, src)
+		moved = int64(len(buf)) * 4
+	}
+	g.bar.wait()
+	g.w.stats[OpBroadcast].add(moved, g.w.link.xferSec(moved, 1))
+}
+
+// Barrier blocks until every rank has entered it.
+func (g *Group) Barrier() { g.bar.wait() }

@@ -1,0 +1,41 @@
+package collective
+
+import "repro/internal/hw"
+
+// Link models the wire connecting the ranks of a communicator: a
+// per-endpoint bandwidth and a per-message latency. Collectives never
+// sleep on the link — they run at memory speed — but every operation is
+// priced against it and the cost accumulates in the per-op meters, so
+// the same code serves both correctness tests (the zero-value
+// PerfectLink prices everything at zero, i.e. an "infinitely fast" wire)
+// and timing studies (a Link drawn from an hw.Platform yields the
+// modeled communication seconds the perfmodel can be validated against).
+type Link struct {
+	Name string
+	// BandwidthBps is bytes/second per endpoint direction; <= 0 means
+	// infinitely fast.
+	BandwidthBps float64
+	// LatencySec is the per-message base latency in seconds.
+	LatencySec float64
+}
+
+// PerfectLink returns the infinitely fast link (the zero value).
+func PerfectLink() Link { return Link{Name: "perfect"} }
+
+// LinkFor derives the rank-to-rank link of a platform: the NVLink fabric
+// when the platform has one, otherwise its NIC (the scale-out case, where
+// each rank is a server).
+func LinkFor(p hw.Platform) Link {
+	ic := p.RankInterconnect()
+	return Link{Name: ic.Name, BandwidthBps: ic.BandwidthBps, LatencySec: ic.LatencySec}
+}
+
+// xferSec prices a transfer of the given payload split across the given
+// number of messages.
+func (l Link) xferSec(bytes int64, messages int) float64 {
+	s := float64(messages) * l.LatencySec
+	if l.BandwidthBps > 0 {
+		s += float64(bytes) / l.BandwidthBps
+	}
+	return s
+}

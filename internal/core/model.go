@@ -50,11 +50,12 @@ type Model struct {
 	Tables []*embedding.Table
 
 	// forward caches
-	pooled []*tensor.Matrix // per sparse feature, B×d
-	z      *tensor.Matrix   // bottom output, B×d
-	xTop   *tensor.Matrix   // interaction output, B×interactionDim
-	batch  *MiniBatch
-	logits []float32 // returned by Forward, reused across batches
+	pooled   []*tensor.Matrix // per sparse feature, B×d (local-lookup path)
+	pooledIn []*tensor.Matrix // pooled matrices of the current forward pass
+	z        *tensor.Matrix   // bottom output, B×d
+	xTop     *tensor.Matrix   // interaction output, B×interactionDim
+	batch    *MiniBatch
+	logits   []float32 // returned by Forward, reused across batches
 
 	// backward scratch
 	dPooled []*tensor.Matrix
@@ -115,12 +116,9 @@ func (m *Model) Forward(b *MiniBatch) []float32 {
 	d := m.Cfg.EmbeddingDim
 	s := m.Cfg.NumSparse()
 
-	m.batch = b
 	if m.embScratch == nil {
 		m.embScratch = embedding.NewScratch()
 	}
-	m.z = m.Bottom.Forward(b.Dense)
-
 	if len(m.pooled) != s || (s > 0 && m.pooled[0].Rows != B) {
 		m.pooled = make([]*tensor.Matrix, s)
 		for i := range m.pooled {
@@ -130,6 +128,32 @@ func (m *Model) Forward(b *MiniBatch) []float32 {
 	for i, tab := range m.Tables {
 		tab.BagForwardInto(b.Bags[i], m.pooled[i], m.embScratch)
 	}
+	logits := m.ForwardPooled(b.Dense, m.pooled)
+	m.batch = b
+	return logits
+}
+
+// ForwardPooled computes logits from a dense batch and externally
+// produced pooled embeddings (one B×d matrix per sparse feature). This is
+// the model-parallel entry point of the hybrid trainer, where pooled rows
+// arrive from remote table shards via all-to-all rather than from this
+// model's own tables; pair it with BackwardPooled. The returned slice is
+// valid until the next forward pass.
+func (m *Model) ForwardPooled(dense *tensor.Matrix, pooled []*tensor.Matrix) []float32 {
+	B := dense.Rows
+	s := m.Cfg.NumSparse()
+	if len(pooled) != s {
+		panic(fmt.Sprintf("core: %d pooled matrices, config wants %d", len(pooled), s))
+	}
+	for i, p := range pooled {
+		if p.Rows != B || p.Cols != m.Cfg.EmbeddingDim {
+			panic(fmt.Sprintf("core: pooled[%d] is %dx%d, want %dx%d",
+				i, p.Rows, p.Cols, B, m.Cfg.EmbeddingDim))
+		}
+	}
+	m.batch = nil // sparse scatter unavailable until the local-lookup path runs
+	m.pooledIn = pooled
+	m.z = m.Bottom.Forward(dense)
 
 	idim := m.Cfg.InteractionDim()
 	if m.xTop == nil || m.xTop.Rows != B || m.xTop.Cols != idim {
@@ -157,7 +181,7 @@ func (m *Model) ensureVecs(s int) {
 	}
 }
 
-// buildInteraction fills xTop from z and pooled according to the config.
+// buildInteraction fills xTop from z and pooledIn according to the config.
 func (m *Model) buildInteraction(B int) {
 	d := m.Cfg.EmbeddingDim
 	s := m.Cfg.NumSparse()
@@ -172,7 +196,7 @@ func (m *Model) buildInteraction(B int) {
 			k := d
 			vecs[0] = m.z.Row(r)
 			for i := 0; i < s; i++ {
-				vecs[i+1] = m.pooled[i].Row(r)
+				vecs[i+1] = m.pooledIn[i].Row(r)
 			}
 			for i := 0; i <= s; i++ {
 				for j := i + 1; j <= s; j++ {
@@ -186,7 +210,7 @@ func (m *Model) buildInteraction(B int) {
 			row := m.xTop.Row(r)
 			copy(row[:d], m.z.Row(r))
 			for i := 0; i < s; i++ {
-				copy(row[(i+1)*d:(i+2)*d], m.pooled[i].Row(r))
+				copy(row[(i+1)*d:(i+2)*d], m.pooledIn[i].Row(r))
 			}
 		}
 	}
@@ -201,7 +225,38 @@ func (m *Model) Backward(dLogits []float32) []*embedding.SparseGrad {
 	if m.batch == nil {
 		panic("core: Backward before Forward")
 	}
-	B := m.batch.Batch()
+	b := m.batch
+	dPooled := m.BackwardPooled(dLogits)
+
+	// Persistent per-table accumulators: Reset retains their slabs, so
+	// the scatter is allocation-free at steady state. The returned slice
+	// is valid until the next Backward call.
+	s := m.Cfg.NumSparse()
+	if len(m.sparseGrads) != s {
+		m.sparseGrads = make([]*embedding.SparseGrad, s)
+		for i := range m.sparseGrads {
+			m.sparseGrads[i] = embedding.NewSparseGrad(m.Cfg.EmbeddingDim)
+		}
+	}
+	for i, tab := range m.Tables {
+		m.sparseGrads[i].Reset()
+		tab.BagBackward(b.Bags[i], dPooled[i], m.sparseGrads[i])
+	}
+	return m.sparseGrads
+}
+
+// BackwardPooled propagates per-example logit gradients through the top
+// MLP, the interaction, and the bottom MLP, and returns the gradients
+// w.r.t. the pooled embedding matrices supplied to ForwardPooled (one
+// B×d matrix per sparse feature). MLP gradients accumulate into the nn
+// layers; the hybrid trainer ships the returned matrices back to the
+// owning table shards via all-to-all. The matrices are owned by the model
+// and valid until the next backward pass.
+func (m *Model) BackwardPooled(dLogits []float32) []*tensor.Matrix {
+	if m.pooledIn == nil {
+		panic("core: BackwardPooled before ForwardPooled")
+	}
+	B := m.z.Rows
 	d := m.Cfg.EmbeddingDim
 	s := m.Cfg.NumSparse()
 
@@ -234,7 +289,7 @@ func (m *Model) Backward(dLogits []float32) []*embedding.SparseGrad {
 			tensor.AddTo(m.dZ.Row(r), g[:d])
 			vecs[0], dvecs[0] = m.z.Row(r), m.dZ.Row(r)
 			for i := 0; i < s; i++ {
-				vecs[i+1], dvecs[i+1] = m.pooled[i].Row(r), m.dPooled[i].Row(r)
+				vecs[i+1], dvecs[i+1] = m.pooledIn[i].Row(r), m.dPooled[i].Row(r)
 			}
 			k := d
 			for i := 0; i <= s; i++ {
@@ -260,21 +315,7 @@ func (m *Model) Backward(dLogits []float32) []*embedding.SparseGrad {
 	}
 
 	m.Bottom.Backward(m.dZ)
-
-	// Persistent per-table accumulators: Reset retains their slabs, so
-	// the scatter is allocation-free at steady state. The returned slice
-	// is valid until the next Backward call.
-	if len(m.sparseGrads) != s {
-		m.sparseGrads = make([]*embedding.SparseGrad, s)
-		for i := range m.sparseGrads {
-			m.sparseGrads[i] = embedding.NewSparseGrad(d)
-		}
-	}
-	for i, tab := range m.Tables {
-		m.sparseGrads[i].Reset()
-		tab.BagBackward(m.batch.Bags[i], m.dPooled[i], m.sparseGrads[i])
-	}
-	return m.sparseGrads
+	return m.dPooled
 }
 
 // DenseParams returns the MLP parameters (bottom then top) for optimizers

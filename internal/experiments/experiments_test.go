@@ -7,8 +7,8 @@ import (
 
 func TestIDsStable(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 17 {
-		t.Fatalf("%d experiments registered, want 17", len(ids))
+	if len(ids) != 18 {
+		t.Fatalf("%d experiments registered, want 18", len(ids))
 	}
 	for _, id := range ids {
 		if Title(id) == "" {

@@ -91,6 +91,17 @@ func (p Platform) HasNVLink() bool { return p.NVLink != nil }
 // IsGPU reports whether the platform carries accelerators.
 func (p Platform) IsGPU() bool { return p.NumGPUs > 0 }
 
+// RankInterconnect returns the channel connecting peer training ranks on
+// this platform: the direct GPU fabric when one exists, otherwise the
+// NIC (the scale-out case where each rank is a server — also the Zion
+// prototype, whose accelerators can only talk through the host).
+func (p Platform) RankInterconnect() Interconnect {
+	if p.HasNVLink() {
+		return *p.NVLink
+	}
+	return p.NIC
+}
+
 // String renders a Table I style row.
 func (p Platform) String() string {
 	acc := "-"

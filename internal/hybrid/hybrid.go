@@ -1,0 +1,558 @@
+// Package hybrid implements the paper's synchronous hybrid-parallel
+// training engine (§IV-B1) as a real, in-process system: the MLP stacks
+// are data-parallel (every rank holds a full replica, synchronized with a
+// bucketed ring all-reduce of dense gradients) while the embedding tables
+// are model-parallel (each rank owns a table-wise shard and the pooled
+// rows are exchanged with all-to-all). One step is therefore
+//
+//	local sparse lookup over the global batch (owned tables)
+//	→ all-to-all of pooled embedding rows
+//	→ fused dense forward/backward on the rank's sub-batch
+//	→ bucketed, overlap-capable all-reduce of dense gradients
+//	→ all-to-all of pooled-embedding gradients back to the owners
+//	→ local sparse scatter + optimizer update,
+//
+// which is exactly the synchronous scale-out loop whose all-to-all and
+// all-reduce times dominate the paper's operator breakdowns. Ranks run on
+// goroutines over internal/collective, so every byte the step moves is
+// metered and comparable against perfmodel's analytic collective volumes.
+//
+// The trainer is deterministic for a fixed seed, and its sparse updates
+// are bit-identical to the single-process core.Trainer on the same batch
+// stream: each rank computes logit gradients with the global-batch
+// normalizer, so pooled-embedding gradients — and therefore the table
+// updates applied by each owner — match the single-process step exactly.
+// Dense gradients differ only by the summation order of the ring, keeping
+// the loss curve rank-count-invariant within float tolerance. Steady-state
+// steps reuse per-rank scratch arenas and perform no per-rank heap
+// allocations.
+package hybrid
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/embedding"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// Config holds the hyper-parameters of the synchronous hybrid trainer.
+// The optimizer fields mirror core.TrainerConfig so that a hybrid run is
+// comparable with the single-process trainer it parallelizes.
+type Config struct {
+	// Ranks is the number of synchronous workers (default 2).
+	Ranks     int
+	Optimizer core.OptimizerKind
+	LR        float64 // dense learning rate
+	SparseLR  float64 // embedding learning rate (defaults to LR)
+	// WarmupIters is the linear LR warmup length.
+	WarmupIters int
+	// BucketBytes chunks the dense-gradient all-reduce into buckets
+	// (default 256 KiB), the granularity at which overlap can hide it.
+	BucketBytes int
+	// Overlap runs the bucketed all-reduce concurrently with the
+	// sparse-gradient all-to-all and scatter. The math is identical; only
+	// the exposed communication time changes.
+	Overlap bool
+	// Link prices the collectives (zero value: infinitely fast). Use
+	// collective.LinkFor to draw it from an hw.Platform.
+	Link collective.Link
+	// Seed initializes the model parameters; a single-process
+	// core.NewModel with the same seed starts from identical weights.
+	Seed int64
+}
+
+func (c *Config) defaults() {
+	if c.Ranks == 0 {
+		c.Ranks = 2
+	}
+	if c.Optimizer == "" {
+		c.Optimizer = core.OptAdagrad
+	}
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+	if c.SparseLR <= 0 {
+		c.SparseLR = c.LR
+	}
+	if c.BucketBytes == 0 {
+		c.BucketBytes = 256 << 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// StepBreakdown decomposes one synchronous step, mirroring the paper's
+// operator breakdown figures. Durations are seconds; Compute, AllToAll,
+// AllReduce, and Exposed are the maximum across ranks (the critical
+// path), where Exposed is the time a rank spent blocked on communication
+// that compute did not hide (with Overlap off it is simply the comm
+// total; with Overlap on it shrinks by whatever the sparse path hid).
+// Byte and modeled-second counters are summed across ranks for the step,
+// directly comparable with perfmodel's analytic collective volumes.
+type StepBreakdown struct {
+	Compute   float64
+	AllToAll  float64
+	AllReduce float64
+	Exposed   float64
+	Step      float64
+
+	AllToAllBytes  int64
+	AllReduceBytes int64
+
+	ModelAllToAllSec  float64
+	ModelAllReduceSec float64
+}
+
+// Trainer is a synchronous hybrid-parallel trainer over N in-process
+// ranks. Construct with New, drive with Step, release with Close.
+type Trainer struct {
+	Cfg core.Config
+	HC  Config
+
+	world   *collective.World
+	tables  []*embedding.Table
+	owner   []int   // table index -> owning rank
+	ownedBy [][]int // rank -> owned table indices, ascending
+	ranks   []*rank
+
+	sched  optim.WarmupSchedule
+	iter   int
+	batch  *core.MiniBatch
+	bounds []int // rank r owns examples [bounds[r], bounds[r+1])
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// New builds the trainer: a reference model seeded exactly like the
+// single-process core.NewModel, full MLP replicas per rank, and embedding
+// tables sharded table-wise across ranks with the §III-A2 greedy
+// partitioner (balancing bytes and lookups).
+func New(cfg core.Config, hc Config) (*Trainer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	hc.defaults()
+	if hc.Ranks < 1 {
+		return nil, fmt.Errorf("hybrid: rank count %d", hc.Ranks)
+	}
+	if hc.LR <= 0 {
+		return nil, fmt.Errorf("hybrid: LR must be positive")
+	}
+
+	ref := core.NewModel(cfg, xrand.New(hc.Seed))
+	t := &Trainer{
+		Cfg:    cfg,
+		HC:     hc,
+		world:  collective.NewWorld(hc.Ranks, hc.Link),
+		tables: ref.Tables,
+		sched:  optim.WarmupSchedule{Base: hc.LR, WarmupIters: hc.WarmupIters},
+		bounds: make([]int, hc.Ranks+1),
+	}
+
+	stats := make([]embedding.TableStat, cfg.NumSparse())
+	for i, s := range cfg.TableStats() {
+		stats[i] = embedding.TableStat{Index: s.Index, Bytes: s.Bytes, MeanPooled: s.MeanPooled}
+	}
+	asg, _ := embedding.TableWiseGreedy(stats, hc.Ranks, 0.5)
+	t.owner = make([]int, cfg.NumSparse())
+	t.ownedBy = make([][]int, hc.Ranks)
+	for ti := 0; ti < cfg.NumSparse(); ti++ { // ascending: fixes packing order
+		rk := asg[ti]
+		t.owner[ti] = rk
+		t.ownedBy[rk] = append(t.ownedBy[rk], ti)
+	}
+
+	main, side := t.world.NewGroup(), t.world.NewGroup()
+	for id := 0; id < hc.Ranks; id++ {
+		r := &rank{
+			t:    t,
+			id:   id,
+			main: main,
+			side: side,
+			model: &core.Model{
+				Cfg:    cfg,
+				Bottom: ref.Bottom.Clone(),
+				Top:    ref.Top.Clone(),
+			},
+			scratch:      embedding.NewScratch(),
+			owned:        t.ownedBy[id],
+			pooledOwned:  make([]*tensor.Matrix, cfg.NumSparse()),
+			dPooledOwned: make([]*tensor.Matrix, cfg.NumSparse()),
+			sparseGrad:   make([]*embedding.SparseGrad, cfg.NumSparse()),
+			sendF:        make([][]float32, hc.Ranks),
+			recvF:        make([][]float32, hc.Ranks),
+			sendB:        make([][]float32, hc.Ranks),
+			recvB:        make([][]float32, hc.Ranks),
+			work:         make(chan float64, 1),
+			arDone:       make(chan struct{}, 1),
+			curB:         -1,
+		}
+		r.params = r.model.DenseParams()
+		var flatLen int
+		for _, p := range r.params {
+			flatLen += len(p.Value)
+		}
+		r.flat = make([]float32, flatLen)
+		switch hc.Optimizer {
+		case core.OptSGD:
+			r.sgd = optim.NewSGD(r.params, float32(hc.LR))
+			for _, ti := range r.owned {
+				r.sparseS = append(r.sparseS, &optim.SparseSGD{LR: float32(hc.SparseLR), Table: t.tables[ti]})
+			}
+		case core.OptAdagrad:
+			r.adagrad = optim.NewAdagrad(r.params, float32(hc.LR))
+			for _, ti := range r.owned {
+				r.sparseA = append(r.sparseA, optim.NewRowWiseAdagrad(t.tables[ti], float32(hc.SparseLR)))
+			}
+		default:
+			return nil, fmt.Errorf("hybrid: unknown optimizer %q", hc.Optimizer)
+		}
+		for _, ti := range r.owned {
+			r.sparseGrad[ti] = embedding.NewSparseGrad(cfg.EmbeddingDim)
+		}
+		t.ranks = append(t.ranks, r)
+		go r.loop()
+	}
+	return t, nil
+}
+
+// Ranks returns the number of synchronous workers.
+func (t *Trainer) Ranks() int { return t.HC.Ranks }
+
+// Iter returns the number of steps taken.
+func (t *Trainer) Iter() int { return t.iter }
+
+// Owner returns the rank owning embedding table ti.
+func (t *Trainer) Owner(ti int) int { return t.owner[ti] }
+
+// CollectiveStats returns the cumulative collective meters (bytes, calls,
+// link-modeled seconds) summed across ranks.
+func (t *Trainer) CollectiveStats() collective.Totals { return t.world.Snapshot() }
+
+// Step runs one synchronous iteration over the global batch and returns
+// the batch's training loss plus the per-phase breakdown. The batch must
+// carry at least one example per rank. At steady state (fixed batch size)
+// the per-rank work performs zero heap allocations; every buffer lives in
+// rank-owned arenas resized only when the batch size changes.
+func (t *Trainer) Step(b *core.MiniBatch) (float64, StepBreakdown) {
+	if t.closed {
+		panic("hybrid: Step after Close")
+	}
+	B := b.Batch()
+	n := t.HC.Ranks
+	if B < n {
+		panic(fmt.Sprintf("hybrid: batch %d smaller than %d ranks", B, n))
+	}
+	for r := 0; r <= n; r++ {
+		t.bounds[r] = r * B / n
+	}
+	t.batch = b
+
+	before := t.world.Snapshot()
+	lr := t.sched.At(t.iter)
+	t.wg.Add(n)
+	for _, r := range t.ranks {
+		r.work <- lr
+	}
+	t.wg.Wait()
+	after := t.world.Snapshot()
+	t.iter++
+
+	var loss float64
+	var bd StepBreakdown
+	for _, r := range t.ranks {
+		loss += r.loss
+		bd.Compute = max(bd.Compute, r.tCompute.Seconds())
+		bd.AllToAll = max(bd.AllToAll, r.tA2A.Seconds())
+		bd.AllReduce = max(bd.AllReduce, r.tAR.Seconds())
+		bd.Exposed = max(bd.Exposed, (r.tA2A + r.arWait).Seconds())
+		bd.Step = max(bd.Step, r.tStep.Seconds())
+	}
+	bd.AllToAllBytes = after.AllToAll.Bytes - before.AllToAll.Bytes
+	bd.AllReduceBytes = after.AllReduce.Bytes - before.AllReduce.Bytes
+	bd.ModelAllToAllSec = after.AllToAll.ModelSec - before.AllToAll.ModelSec
+	bd.ModelAllReduceSec = after.AllReduce.ModelSec - before.AllReduce.ModelSec
+	return loss, bd
+}
+
+// EvalModel returns a model view over rank 0's dense replica and the full
+// sharded table set, for held-out evaluation between steps. The view
+// aliases the trainer's parameters; do not evaluate concurrently with
+// Step.
+func (t *Trainer) EvalModel() *core.Model {
+	return &core.Model{
+		Cfg:    t.Cfg,
+		Bottom: t.ranks[0].model.Bottom.ShareWeights(),
+		Top:    t.ranks[0].model.Top.ShareWeights(),
+		Tables: t.tables,
+	}
+}
+
+// Close stops the rank goroutines. The trainer must not be stepped again.
+func (t *Trainer) Close() {
+	if t.closed {
+		return
+	}
+	t.closed = true
+	for _, r := range t.ranks {
+		close(r.work)
+	}
+}
+
+// rank is one synchronous worker: a full MLP replica, the owned table
+// shard with its sparse optimizers, and every scratch arena the step
+// needs (pooled matrices, pack/unpack wires, flattened gradients).
+type rank struct {
+	t    *Trainer
+	id   int
+	main *collective.Group // forward all-to-all + dense all-reduce
+	side *collective.Group // backward all-to-all (overlappable)
+
+	model   *core.Model // dense replica (no tables)
+	params  []nn.Param
+	sgd     *optim.SGD
+	adagrad *optim.Adagrad
+	sparseS []*optim.SparseSGD      // aligned with owned
+	sparseA []*optim.RowWiseAdagrad // aligned with owned
+	owned   []int                   // owned table indices, ascending
+	scratch *embedding.Scratch
+
+	// arenas, resized only when the global batch size changes
+	curB         int
+	pooledOwned  []*tensor.Matrix // owned ti -> B×d pooled rows (global batch)
+	dPooledOwned []*tensor.Matrix // owned ti -> B×d pooled grads (global batch)
+	sparseGrad   []*embedding.SparseGrad
+	pooledLocal  []*tensor.Matrix // every ti -> bs×d rows for this rank's examples
+	sendF, recvF [][]float32      // forward pooled-row wires, per peer
+	sendB, recvB [][]float32      // backward pooled-grad wires, per peer
+	gradBuf      []float32
+	flat         []float32 // flattened dense grads for the bucketed all-reduce
+	denseView    tensor.Matrix
+
+	work   chan float64 // learning rate for the step; closed by Close
+	arDone chan struct{}
+
+	// per-step outputs
+	loss                float64
+	tCompute, tA2A, tAR time.Duration
+	arWait, tStep       time.Duration
+	tARBg               time.Duration // all-reduce duration when overlapped
+}
+
+func (r *rank) loop() {
+	for lr := range r.work {
+		r.step(lr)
+		r.t.wg.Done()
+	}
+}
+
+// ensure resizes the arenas for global batch size B and this rank's
+// sub-batch. No-op (and allocation-free) while B is unchanged.
+func (r *rank) ensure(B int) {
+	if r.curB == B {
+		return
+	}
+	r.curB = B
+	t := r.t
+	n := t.HC.Ranks
+	d := t.Cfg.EmbeddingDim
+	bs := t.bounds[r.id+1] - t.bounds[r.id]
+	for _, ti := range r.owned {
+		r.pooledOwned[ti] = tensor.New(B, d)
+		r.dPooledOwned[ti] = tensor.New(B, d)
+	}
+	if len(r.pooledLocal) != t.Cfg.NumSparse() {
+		r.pooledLocal = make([]*tensor.Matrix, t.Cfg.NumSparse())
+	}
+	for ti := range r.pooledLocal {
+		r.pooledLocal[ti] = tensor.New(bs, d)
+	}
+	for j := 0; j < n; j++ {
+		bsj := t.bounds[j+1] - t.bounds[j]
+		r.sendF[j] = make([]float32, len(r.owned)*bsj*d)
+		r.recvF[j] = make([]float32, len(t.ownedBy[j])*bs*d)
+		r.sendB[j] = make([]float32, len(t.ownedBy[j])*bs*d)
+		r.recvB[j] = make([]float32, len(r.owned)*bsj*d)
+	}
+	r.gradBuf = make([]float32, bs)
+}
+
+// step runs this rank's share of one synchronous iteration.
+func (r *rank) step(lr float64) {
+	t := r.t
+	b := t.batch
+	n := t.HC.Ranks
+	d := t.Cfg.EmbeddingDim
+	B := b.Batch()
+	lo, hi := t.bounds[r.id], t.bounds[r.id+1]
+	bs := hi - lo
+
+	start := time.Now()
+	var a2a, ar, arWait time.Duration
+	r.ensure(B)
+
+	// 1. Model-parallel lookups: pool the owned tables over the whole
+	// global batch.
+	for _, ti := range r.owned {
+		t.tables[ti].BagForwardInto(b.Bags[ti], r.pooledOwned[ti], r.scratch)
+	}
+
+	// 2. Pack pooled rows per destination: rank j receives its examples'
+	// rows for every table this rank owns (tables in ascending order).
+	for j := 0; j < n; j++ {
+		off := 0
+		for _, ti := range r.owned {
+			src := r.pooledOwned[ti].Data[t.bounds[j]*d : t.bounds[j+1]*d]
+			copy(r.sendF[j][off:], src)
+			off += len(src)
+		}
+	}
+
+	// 3. Forward all-to-all of pooled embedding rows.
+	ts := time.Now()
+	r.main.AllToAllV(r.id, r.sendF, r.recvF)
+	a2a += time.Since(ts)
+
+	// 4. Unpack: pooledLocal[ti] gets this rank's bs×d slice of table ti.
+	for o := 0; o < n; o++ {
+		off := 0
+		for _, ti := range t.ownedBy[o] {
+			copy(r.pooledLocal[ti].Data, r.recvF[o][off:off+bs*d])
+			off += bs * d
+		}
+	}
+
+	// 5. Data-parallel dense pass on the rank's sub-batch. The logit
+	// gradient uses the global-batch normalizer, so sub-batch gradients
+	// carry exactly their single-process weight.
+	r.denseView.Rows, r.denseView.Cols = bs, b.Dense.Cols
+	r.denseView.Data = b.Dense.Data[lo*b.Dense.Cols : hi*b.Dense.Cols]
+	logits := r.model.ForwardPooled(&r.denseView, r.pooledLocal)
+	grad := r.gradBuf[:bs]
+	r.loss = nn.BCEWithLogitsNorm(logits, b.Labels[lo:hi], grad, 1.0/float64(B))
+
+	r.model.ZeroGrad()
+	dPooled := r.model.BackwardPooled(grad)
+
+	// 6. Pack pooled-embedding gradients back toward the table owners and
+	// flatten the dense gradients for the bucketed all-reduce.
+	for o := 0; o < n; o++ {
+		off := 0
+		for _, ti := range t.ownedBy[o] {
+			copy(r.sendB[o][off:], dPooled[ti].Data)
+			off += bs * d
+		}
+	}
+	off := 0
+	for _, p := range r.params {
+		copy(r.flat[off:], p.Grad)
+		off += len(p.Grad)
+	}
+
+	// 7. Synchronize. With Overlap the bucketed all-reduce proceeds on a
+	// second goroutine while the sparse gradients travel and scatter —
+	// identical math, less exposed communication.
+	if t.HC.Overlap && n > 1 {
+		go func() {
+			ts := time.Now()
+			r.allReduceBuckets()
+			r.tARBg = time.Since(ts)
+			r.arDone <- struct{}{}
+		}()
+		ts = time.Now()
+		r.side.AllToAllV(r.id, r.sendB, r.recvB)
+		a2a += time.Since(ts)
+		r.applySparse(lr)
+		ts = time.Now()
+		<-r.arDone
+		arWait = time.Since(ts)
+		ar = r.tARBg
+	} else {
+		ts = time.Now()
+		r.allReduceBuckets()
+		ar = time.Since(ts)
+		arWait = ar
+		ts = time.Now()
+		r.side.AllToAllV(r.id, r.sendB, r.recvB)
+		a2a += time.Since(ts)
+		r.applySparse(lr)
+	}
+
+	// 8. Dense update: every rank applies the identical summed gradient,
+	// so the replicas stay bit-for-bit in sync.
+	off = 0
+	for _, p := range r.params {
+		copy(p.Grad, r.flat[off:off+len(p.Grad)])
+		off += len(p.Grad)
+	}
+	switch {
+	case r.sgd != nil:
+		r.sgd.LR = float32(lr)
+		r.sgd.Step()
+	default:
+		r.adagrad.LR = float32(lr)
+		r.adagrad.Step()
+	}
+
+	r.tStep = time.Since(start)
+	r.tA2A = a2a
+	r.tAR = ar
+	r.arWait = arWait
+	r.tCompute = r.tStep - a2a - arWait
+}
+
+// allReduceBuckets ring-all-reduces the flattened dense gradients in
+// BucketBytes chunks.
+func (r *rank) allReduceBuckets() {
+	bucket := r.t.HC.BucketBytes / 4
+	if bucket <= 0 {
+		bucket = len(r.flat)
+	}
+	for off := 0; off < len(r.flat); off += bucket {
+		end := off + bucket
+		if end > len(r.flat) {
+			end = len(r.flat)
+		}
+		r.main.AllReduce(r.id, r.flat[off:end])
+	}
+}
+
+// applySparse reassembles the global-order pooled-gradient matrix for
+// every owned table from the backward all-to-all, scatters it through the
+// bag (exactly the single-process BagBackward walk), and applies the
+// sparse optimizer with the warmup-scaled learning rate.
+func (r *rank) applySparse(lr float64) {
+	t := r.t
+	n := t.HC.Ranks
+	d := t.Cfg.EmbeddingDim
+	scale := float32(lr / t.HC.LR)
+	for j := 0; j < n; j++ {
+		off := 0
+		rows := (t.bounds[j+1] - t.bounds[j]) * d
+		for _, ti := range r.owned {
+			dst := r.dPooledOwned[ti].Data[t.bounds[j]*d : t.bounds[j+1]*d]
+			copy(dst, r.recvB[j][off:off+rows])
+			off += rows
+		}
+	}
+	for oi, ti := range r.owned {
+		sg := r.sparseGrad[ti]
+		sg.Reset()
+		t.tables[ti].BagBackward(t.batch.Bags[ti], r.dPooledOwned[ti], sg)
+		if r.sgd != nil {
+			r.sparseS[oi].LR = float32(t.HC.SparseLR) * scale
+			r.sparseS[oi].Apply(sg)
+		} else {
+			r.sparseA[oi].LR = float32(t.HC.SparseLR) * scale
+			r.sparseA[oi].Apply(sg)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package hybrid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/xrand"
+)
+
+func testCfg() core.Config {
+	return core.Config{
+		Name:          "hybrid-test",
+		DenseFeatures: 16,
+		Sparse:        core.UniformSparse(8, 1000, 4),
+		EmbeddingDim:  8,
+		BottomMLP:     []int{32},
+		TopMLP:        []int{32, 16},
+		Interaction:   core.DotProduct,
+	}
+}
+
+// singleLosses trains the single-process reference trainer on the same
+// seed/workload and records per-step losses.
+func singleLosses(t *testing.T, cfg core.Config, steps, batch int) []float64 {
+	t.Helper()
+	m := core.NewModel(cfg, xrand.New(1))
+	tr := core.NewTrainer(m, core.TrainerConfig{Optimizer: core.OptAdagrad, LR: 0.05})
+	gen := data.NewGenerator(cfg, 7, data.DefaultOptions())
+	losses := make([]float64, steps)
+	for i := range losses {
+		losses[i] = tr.Step(gen.NextBatch(batch))
+	}
+	return losses
+}
+
+func hybridLosses(t *testing.T, cfg core.Config, hc Config, steps, batch int) []float64 {
+	t.Helper()
+	ht, err := New(cfg, hc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ht.Close()
+	gen := data.NewGenerator(cfg, 7, data.DefaultOptions())
+	losses := make([]float64, steps)
+	for i := range losses {
+		losses[i], _ = ht.Step(gen.NextBatch(batch))
+	}
+	return losses
+}
+
+// TestMatchesSingleProcess is the engine's core acceptance criterion: for
+// the same seed and workload, the synchronous hybrid trainer's loss curve
+// must match the single-process core.Trainer within float tolerance, for
+// 1, 2, and 4 ranks. Sparse updates are bit-identical by construction;
+// dense gradients differ only by ring summation order.
+func TestMatchesSingleProcess(t *testing.T) {
+	cfg := testCfg()
+	const steps, batch = 30, 64
+	ref := singleLosses(t, cfg, steps, batch)
+	for _, ranks := range []int{1, 2, 4} {
+		got := hybridLosses(t, cfg, Config{Ranks: ranks, Seed: 1, LR: 0.05}, steps, batch)
+		var worst float64
+		for i := range ref {
+			if d := math.Abs(got[i] - ref[i]); d > worst {
+				worst = d
+			}
+		}
+		if worst > 5e-3 {
+			t.Errorf("ranks=%d: max per-step loss deviation %v from single-process run", ranks, worst)
+		}
+		if d := math.Abs(got[0] - ref[0]); d > 1e-6 {
+			t.Errorf("ranks=%d: first-step loss off by %v (forward pass should be near-exact)", ranks, d)
+		}
+	}
+}
+
+// TestDeterministicAndOverlapInvariant checks that a fixed seed yields a
+// bit-identical loss trajectory across runs, and that overlapping the
+// dense all-reduce with the sparse path changes timing only, not math.
+func TestDeterministicAndOverlapInvariant(t *testing.T) {
+	cfg := testCfg()
+	const steps, batch = 12, 32
+	base := hybridLosses(t, cfg, Config{Ranks: 3, Seed: 5, LR: 0.05}, steps, batch)
+	again := hybridLosses(t, cfg, Config{Ranks: 3, Seed: 5, LR: 0.05}, steps, batch)
+	overlapped := hybridLosses(t, cfg, Config{Ranks: 3, Seed: 5, LR: 0.05, Overlap: true}, steps, batch)
+	for i := range base {
+		if base[i] != again[i] {
+			t.Fatalf("step %d: reruns diverge (%v vs %v)", i, base[i], again[i])
+		}
+		if base[i] != overlapped[i] {
+			t.Fatalf("step %d: overlap changed the math (%v vs %v)", i, base[i], overlapped[i])
+		}
+	}
+}
+
+// TestBreakdownBytes pins the per-step collective meters to the exact
+// exchange volumes of a balanced shard: the pooled all-to-all moves
+// 2·B·S·d·4·(n-1)/n bytes and the ring all-reduce 2·(n-1)·denseBytes.
+func TestBreakdownBytes(t *testing.T) {
+	cfg := testCfg()
+	const ranks, batch = 4, 64
+	ht, err := New(cfg, Config{Ranks: ranks, Seed: 1, LR: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ht.Close()
+	gen := data.NewGenerator(cfg, 7, data.DefaultOptions())
+	_, bd := ht.Step(gen.NextBatch(batch))
+
+	d := cfg.EmbeddingDim
+	s := cfg.NumSparse()
+	wantA2A := int64(2 * batch * s * d * 4 * (ranks - 1) / ranks)
+	if bd.AllToAllBytes != wantA2A {
+		t.Errorf("all-to-all bytes %d, want %d", bd.AllToAllBytes, wantA2A)
+	}
+	wantAR := 2 * int64(ranks-1) * cfg.DenseParamBytes()
+	if bd.AllReduceBytes != wantAR {
+		t.Errorf("all-reduce bytes %d, want %d", bd.AllReduceBytes, wantAR)
+	}
+	if bd.Step <= 0 || bd.Compute < 0 || bd.Exposed < 0 {
+		t.Errorf("degenerate breakdown: %+v", bd)
+	}
+	if bd.Exposed > bd.Step {
+		t.Errorf("exposed comm %v exceeds step time %v", bd.Exposed, bd.Step)
+	}
+}
+
+// TestUnevenBatchAndFewTables exercises a batch that does not divide by
+// the rank count and more ranks than some tables' shards.
+func TestUnevenBatchAndFewTables(t *testing.T) {
+	cfg := testCfg()
+	cfg.Sparse = core.UniformSparse(3, 500, 3) // fewer tables than ranks
+	ht, err := New(cfg, Config{Ranks: 4, Seed: 2, LR: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ht.Close()
+	gen := data.NewGenerator(cfg, 11, data.DefaultOptions())
+	for i := 0; i < 5; i++ {
+		loss, _ := ht.Step(gen.NextBatch(13))
+		if math.IsNaN(loss) || math.IsInf(loss, 0) {
+			t.Fatalf("step %d: loss %v", i, loss)
+		}
+	}
+	// Batch sizes may change between steps; arenas must follow.
+	if loss, _ := ht.Step(gen.NextBatch(32)); math.IsNaN(loss) {
+		t.Fatal("resized batch produced NaN")
+	}
+}
+
+// TestEvalModelLearns trains for a while and checks the assembled eval
+// view (rank-0 dense replica + sharded tables) beats the base rate.
+func TestEvalModelLearns(t *testing.T) {
+	cfg := testCfg()
+	ht, err := New(cfg, Config{Ranks: 2, Seed: 1, LR: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ht.Close()
+	gen := data.NewGenerator(cfg, 7, data.DefaultOptions())
+	var first, last float64
+	const steps = 100
+	for i := 0; i < steps; i++ {
+		loss, _ := ht.Step(gen.NextBatch(64))
+		if i < 10 {
+			first += loss
+		}
+		if i >= steps-10 {
+			last += loss
+		}
+	}
+	if last >= first {
+		t.Errorf("loss did not improve: %v -> %v", first/10, last/10)
+	}
+	res := core.Evaluate(ht.EvalModel(), gen.Fork(999).EvalSet(4, 128))
+	if !(res.NE < 1.0) {
+		t.Errorf("NE %v, want < 1 (better than base rate)", res.NE)
+	}
+}
+
+// TestStepSteadyStateAllocs checks the per-rank arenas are reused: after
+// warmup a fixed-size step performs (near) zero heap allocations. A small
+// budget absorbs one-off runtime costs (goroutine stack growth, timer
+// pages) that are not per-step arena churn.
+func TestStepSteadyStateAllocs(t *testing.T) {
+	cfg := testCfg()
+	ht, err := New(cfg, Config{Ranks: 2, Seed: 1, LR: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ht.Close()
+	gen := data.NewGenerator(cfg, 7, data.DefaultOptions())
+	batch := gen.NextBatch(64)
+	for i := 0; i < 5; i++ {
+		ht.Step(batch)
+	}
+	if avg := testing.AllocsPerRun(20, func() { ht.Step(batch) }); avg > 2 {
+		t.Errorf("hybrid step allocates %.1f objects at steady state, want ~0", avg)
+	}
+}
+
+// TestConfigErrors covers constructor validation.
+func TestConfigErrors(t *testing.T) {
+	if _, err := New(core.Config{}, Config{}); err == nil {
+		t.Error("invalid model config accepted")
+	}
+	if _, err := New(testCfg(), Config{Ranks: -1}); err == nil {
+		t.Error("negative rank count accepted")
+	}
+	if _, err := New(testCfg(), Config{Optimizer: "momentum"}); err == nil {
+		t.Error("unknown optimizer accepted")
+	}
+}

@@ -14,12 +14,25 @@ func BCEWithLogits(logits, labels, grad []float32) float64 {
 	if len(logits) != len(labels) {
 		panic("nn: logits and labels length mismatch")
 	}
-	n := len(logits)
-	if n == 0 {
+	if len(logits) == 0 {
+		return 0
+	}
+	return BCEWithLogitsNorm(logits, labels, grad, 1.0/float64(len(logits)))
+}
+
+// BCEWithLogitsNorm is BCEWithLogits with an explicit normalizer: loss
+// and gradients are scaled by invN instead of 1/len(logits). Synchronous
+// data-parallel ranks pass 1/globalBatch so that each sub-batch gradient
+// carries exactly the weight it has in the single-process step and the
+// per-rank partial losses sum to the global mean loss.
+func BCEWithLogitsNorm(logits, labels, grad []float32, invN float64) float64 {
+	if len(logits) != len(labels) {
+		panic("nn: logits and labels length mismatch")
+	}
+	if len(logits) == 0 {
 		return 0
 	}
 	var loss float64
-	invN := 1.0 / float64(n)
 	for i, z := range logits {
 		y := float64(labels[i])
 		zf := float64(z)

@@ -1,0 +1,42 @@
+package perfmodel
+
+import "repro/internal/core"
+
+// Analytic collective volumes of the synchronous hybrid-parallel step
+// (internal/hybrid). These are the same quantities the GPU estimate
+// prices per iteration; exposing them lets the real engine's byte meters
+// be crosschecked against the model (see collective_test.go), exactly as
+// the memtier subsystem validates its analytic hit rates against
+// replayed traces.
+
+// HybridAllToAllBytes returns the total bytes the pooled-embedding
+// exchange moves across rank boundaries per iteration, summed over ranks
+// and both directions (forward rows + backward gradients):
+//
+//	2 · B · S · d · 4 · (n-1)/n
+//
+// Each of the S tables produces B pooled rows of d fp32 values per
+// direction; with table-wise sharding a (n-1)/n share of every row
+// crosses a rank boundary.
+func HybridAllToAllBytes(cfg core.Config, batch, ranks int) float64 {
+	if ranks <= 1 {
+		return 0
+	}
+	pooled := float64(batch) * float64(cfg.NumSparse()) * float64(cfg.EmbeddingDim) * 4
+	return 2 * pooled * float64(ranks-1) / float64(ranks)
+}
+
+// HybridAllReduceBytes returns the total bytes the ring all-reduce of
+// dense (MLP) gradients moves across rank boundaries per iteration,
+// summed over ranks:
+//
+//	2 · (n-1) · denseParamBytes
+//
+// (each rank sends and receives a 2·(n-1)/n share of the gradient
+// vector, and n ranks participate).
+func HybridAllReduceBytes(cfg core.Config, ranks int) float64 {
+	if ranks <= 1 {
+		return 0
+	}
+	return 2 * float64(ranks-1) * float64(cfg.DenseParamBytes())
+}

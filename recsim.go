@@ -2,7 +2,7 @@
 // reproduction of "Understanding Training Efficiency of Deep Learning
 // Recommendation Models at Scale" (HPCA 2021).
 //
-// It bundles four capabilities:
+// It bundles five capabilities:
 //
 //   - a real DLRM training stack (models, embedding tables, optimizers,
 //     synthetic click data, single-node and distributed trainers) whose
@@ -10,6 +10,12 @@
 //     on a persistent worker pool, fused bias/ReLU epilogues, slab
 //     sparse gradients, and recycled batch arenas (see DESIGN.md and
 //     cmd/benchrun for the measured trajectory);
+//   - a synchronous hybrid-parallel training engine (internal/hybrid on
+//     internal/collective): data-parallel MLP replicas synchronized with
+//     a bucketed ring all-reduce and model-parallel embedding shards
+//     exchanged with all-to-all, over real in-process collectives whose
+//     byte meters are validated against the analytic volumes
+//     (HybridAllToAllBytes, HybridAllReduceBytes);
 //   - an analytic + discrete-event performance model of the paper's
 //     hardware platforms (dual-socket CPU, Big Basin, Zion) and embedding
 //     placement strategies;
@@ -19,7 +25,8 @@
 //     and exploits the §III-A2 power-law access skew via the Tiered
 //     placement strategy (PlaceTiered);
 //   - runners that regenerate every table and figure of the paper's
-//     evaluation, plus an MTrainS-style tiered-memory sweep.
+//     evaluation, plus an MTrainS-style tiered-memory sweep and a
+//     hybrid-parallel ranks × batch scaling study.
 //
 // Quick start:
 //
@@ -31,10 +38,12 @@ package recsim
 import (
 	"fmt"
 
+	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/experiments"
 	"repro/internal/hw"
+	"repro/internal/hybrid"
 	"repro/internal/memtier"
 	"repro/internal/perfmodel"
 	"repro/internal/placement"
@@ -91,6 +100,22 @@ type (
 	// CachePolicy is a pluggable row-cache eviction policy (LRU, LFU,
 	// CLOCK).
 	CachePolicy = memtier.Policy
+	// HybridTrainer is the synchronous hybrid-parallel training engine:
+	// data-parallel MLPs (ring all-reduce) + model-parallel embedding
+	// shards (all-to-all) over real in-process collectives.
+	HybridTrainer = hybrid.Trainer
+	// HybridConfig holds the hybrid trainer's hyper-parameters (ranks,
+	// optimizer, all-reduce bucketing/overlap, link model).
+	HybridConfig = hybrid.Config
+	// HybridStepBreakdown decomposes one synchronous step into compute /
+	// all-to-all / all-reduce / exposed-comm time plus collective byte
+	// meters, mirroring the paper's operator breakdown figures.
+	HybridStepBreakdown = hybrid.StepBreakdown
+	// CollectiveLink models the wire between ranks (bandwidth + latency);
+	// the zero value is infinitely fast.
+	CollectiveLink = collective.Link
+	// CollectiveStats are the cumulative per-operation collective meters.
+	CollectiveStats = collective.Totals
 )
 
 // Placement strategies (Fig 8, plus the tiered-memory extension).
@@ -228,6 +253,36 @@ func NewCachePolicy(name string, capacityRows int) (CachePolicy, error) {
 	return memtier.NewPolicy(name, capacityRows)
 }
 
+// NewHybridTrainer builds the synchronous hybrid-parallel trainer: hc.Ranks
+// in-process workers, each owning a table-wise embedding shard and a full
+// MLP replica. Close it when done.
+func NewHybridTrainer(cfg ModelConfig, hc HybridConfig) (*HybridTrainer, error) {
+	return hybrid.New(cfg, hc)
+}
+
+// HybridLink derives the collective link model from a platform's
+// rank-to-rank interconnect (NVLink when present, otherwise the NIC).
+func HybridLink(platformName string) (CollectiveLink, error) {
+	p, err := hw.ByName(platformName)
+	if err != nil {
+		return CollectiveLink{}, err
+	}
+	return collective.LinkFor(p), nil
+}
+
+// HybridAllToAllBytes returns the analytic cross-rank bytes the hybrid
+// trainer's pooled-embedding all-to-all moves per iteration (both
+// directions, summed over ranks) — the number its byte meters report.
+func HybridAllToAllBytes(cfg ModelConfig, batch, ranks int) float64 {
+	return perfmodel.HybridAllToAllBytes(cfg, batch, ranks)
+}
+
+// HybridAllReduceBytes returns the analytic cross-rank bytes of the dense
+// ring all-reduce per iteration, summed over ranks.
+func HybridAllReduceBytes(cfg ModelConfig, ranks int) float64 {
+	return perfmodel.HybridAllReduceBytes(cfg, ranks)
+}
+
 // Experiments lists the regenerable paper artifacts.
 func Experiments() []string { return experiments.IDs() }
 
@@ -237,7 +292,7 @@ func RunExperiment(id string, opt ExperimentOptions) (ExperimentResult, error) {
 }
 
 // Version identifies the reproduction release.
-const Version = "1.2.0"
+const Version = "1.3.0"
 
 // Describe returns a one-line summary of a model config.
 func Describe(cfg ModelConfig) string {

@@ -37,6 +37,55 @@ func TestPublicAPITrainingFlow(t *testing.T) {
 	}
 }
 
+func TestPublicAPIHybridTraining(t *testing.T) {
+	cfg := ModelConfig{
+		Name:          "api-hybrid",
+		DenseFeatures: 8,
+		Sparse:        UniformSparse(4, 200, 3),
+		EmbeddingDim:  8,
+		BottomMLP:     []int{16},
+		TopMLP:        []int{16},
+		Interaction:   InteractionDot,
+	}
+	link, err := HybridLink("BigBasin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht, err := NewHybridTrainer(cfg, HybridConfig{Ranks: 2, LR: 0.05, Link: link})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ht.Close()
+	gen := NewGenerator(cfg, 2)
+	var first, last float64
+	var bd HybridStepBreakdown
+	for i := 0; i < 100; i++ {
+		var loss float64
+		loss, bd = ht.Step(gen.NextBatch(32))
+		if i < 10 {
+			first += loss
+		}
+		if i >= 90 {
+			last += loss
+		}
+	}
+	if last >= first {
+		t.Errorf("hybrid loss did not improve: %v -> %v", first/10, last/10)
+	}
+	if got, want := float64(bd.AllToAllBytes), HybridAllToAllBytes(cfg, 32, 2); got != want {
+		t.Errorf("metered all-to-all %v bytes, analytic %v", got, want)
+	}
+	if got, want := float64(bd.AllReduceBytes), HybridAllReduceBytes(cfg, 2); got != want {
+		t.Errorf("metered all-reduce %v bytes, analytic %v", got, want)
+	}
+	if bd.ModelAllToAllSec <= 0 {
+		t.Error("throttled link charged no modeled all-to-all time")
+	}
+	if st := ht.CollectiveStats(); st.AllToAll.Calls == 0 {
+		t.Error("collective meters empty")
+	}
+}
+
 func TestPublicAPIEstimation(t *testing.T) {
 	cfg := TestSuiteModel(1024, 16)
 	g, err := EstimateGPU(cfg, "BigBasin", 1600, PlaceGPUMemory)
@@ -113,7 +162,7 @@ func TestPublicAPITieredPlacement(t *testing.T) {
 
 func TestPublicAPIExperiments(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 17 {
+	if len(ids) != 18 {
 		t.Fatalf("Experiments() = %d ids", len(ids))
 	}
 	res, err := RunExperiment("table1", ExperimentOptions{Quick: true})
