@@ -13,6 +13,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/hw"
 	"repro/internal/hybrid"
+	"repro/internal/ingest"
 	"repro/internal/perfmodel"
 	"repro/internal/placement"
 	"repro/internal/tensor"
@@ -90,6 +91,40 @@ func BenchmarkHybridStep(b *testing.B) {
 		ht.Step(batch)
 	}
 	b.ReportMetric(float64(128*b.N)/b.Elapsed().Seconds(), "examples/sec")
+}
+
+// BenchmarkIngestStep measures the ingestion-fed training step: the
+// staged on-disk reader pipeline (2 decoders, RecD dedup) feeding
+// core.Trainer over the same model as BenchmarkTrainStep, so the cost of
+// training from disk instead of a resident batch is directly readable.
+// cmd/benchrun's ingest_step entry records the same setup.
+func BenchmarkIngestStep(b *testing.B) {
+	cfg := benchreport.BenchStepConfig()
+	dir := b.TempDir()
+	gen := NewGenerator(cfg, 9)
+	if err := gen.WriteShards(dir, 4, 4*128); err != nil {
+		b.Fatal(err)
+	}
+	ds, err := ingest.OpenDataset(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ds.Close()
+	pipe, err := ingest.Open(ds, cfg, ingest.Options{
+		BatchSize: 128, Readers: 2, Dedup: true, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pipe.Close()
+	tr := NewTrainer(NewModel(cfg, 1), TrainerConfig{LR: 0.05})
+	b.ResetTimer()
+	if _, _, err := tr.TrainFrom(pipe, b.N); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(128*b.N)/b.Elapsed().Seconds(), "examples/sec")
+	b.ReportMetric(pipe.Meters().DedupRatio(), "dedup-ratio")
 }
 
 // BenchmarkPerfModelEstimate measures the analytic model's cost.

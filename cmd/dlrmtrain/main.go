@@ -3,10 +3,14 @@
 // end-to-end exercise of the training stack. -mode=hybrid runs the same
 // workload on the synchronous hybrid-parallel engine (data-parallel MLPs
 // via all-reduce, model-parallel embeddings via all-to-all) and prints
-// the paper-style operator breakdown.
+// the paper-style operator breakdown. -data=file:<dir> swaps the
+// in-memory generator for the staged ingestion pipeline over a sharded
+// on-disk dataset (-readers parallel decoders, optional RecD -dedup),
+// printing the pipeline's per-stage meters.
 //
 //	dlrmtrain -dense 64 -sparse 8 -batch 256 -iters 500 -lr 0.05
 //	dlrmtrain -mode hybrid -ranks 4 -batch 256 -iters 500
+//	dlrmtrain -data file:/tmp/ds -materialize -readers 4 -dedup
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/collective"
@@ -21,6 +26,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/hw"
 	"repro/internal/hybrid"
+	"repro/internal/ingest"
 	"repro/internal/perfmodel"
 	"repro/internal/xrand"
 )
@@ -30,6 +36,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// feed is the resolved batch supply: an in-memory generator (with
+// held-out evaluation) or the on-disk ingestion pipeline (with meters).
+type feed struct {
+	src  core.BatchSource
+	gen  *data.Generator  // non-nil in synthetic mode (enables eval)
+	pipe *ingest.Pipeline // non-nil in file mode (enables meters)
+	done func()
 }
 
 func run(args []string, out io.Writer) error {
@@ -46,6 +61,10 @@ func run(args []string, out io.Writer) error {
 	mode := fs.String("mode", "single", "trainer: single (one process) or hybrid (synchronous hybrid-parallel)")
 	ranks := fs.Int("ranks", 2, "synchronous ranks in hybrid mode")
 	platform := fs.String("platform", "BigBasin", "platform whose interconnect prices hybrid collectives")
+	dataFlag := fs.String("data", "synthetic", "batch supply: synthetic (in-memory generator) or file:<dir> (sharded on-disk dataset)")
+	readers := fs.Int("readers", 2, "parallel shard decoders in file mode")
+	dedup := fs.Bool("dedup", false, "RecD-style within-batch sparse dedup in file mode")
+	materialize := fs.Bool("materialize", false, "write the synthetic dataset to the -data dir first if it has no manifest")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,37 +81,115 @@ func run(args []string, out io.Writer) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
+
+	fd, cfg, err := openFeed(out, cfg, *dataFlag, *batch, *readers, *dedup, *materialize, *seed)
+	if err != nil {
+		return err
+	}
+	defer fd.done()
 	fmt.Fprintf(out, "model: %d dense, %d sparse x %d rows, %s embeddings\n",
-		cfg.DenseFeatures, cfg.NumSparse(), *hash, core.HumanBytes(cfg.EmbeddingBytes()))
+		cfg.DenseFeatures, cfg.NumSparse(), cfg.Sparse[0].HashSize, core.HumanBytes(cfg.EmbeddingBytes()))
 
 	switch *mode {
 	case "single":
-		return runSingle(out, cfg, *batch, *iters, *lr, *seed)
+		return runSingle(out, cfg, fd, *batch, *iters, *lr, *seed)
 	case "hybrid":
-		return runHybrid(out, cfg, *batch, *iters, *lr, *seed, *ranks, *platform)
+		return runHybrid(out, cfg, fd, *batch, *iters, *lr, *seed, *ranks, *platform)
 	default:
 		return fmt.Errorf("dlrmtrain: unknown mode %q (single, hybrid)", *mode)
 	}
 }
 
-func runSingle(out io.Writer, cfg core.Config, batch, iters int, lr float64, seed int64) error {
+// openFeed resolves -data. In file mode the dataset's feature space
+// (dense width, hash sizes) replaces the flag-built one so the model
+// matches what is on disk.
+func openFeed(out io.Writer, cfg core.Config, dataFlag string, batch, readers int, dedup, materialize bool, seed int64) (*feed, core.Config, error) {
+	switch {
+	case dataFlag == "synthetic":
+		gen := data.NewGenerator(cfg, seed+1, data.DefaultOptions())
+		return &feed{src: gen.NewSource(batch), gen: gen, done: func() {}}, cfg, nil
+
+	case strings.HasPrefix(dataFlag, "file:"):
+		dir := strings.TrimPrefix(dataFlag, "file:")
+		if dir == "" {
+			return nil, cfg, fmt.Errorf("dlrmtrain: -data file: needs a directory")
+		}
+		if materialize {
+			if _, err := os.Stat(dir + "/MANIFEST.json"); os.IsNotExist(err) {
+				fmt.Fprintf(out, "materializing synthetic dataset in %s (8 shards x %d examples)\n", dir, 4*batch)
+				gen := data.NewGenerator(cfg, seed+1, data.DefaultOptions())
+				if err := gen.WriteShards(dir, 8, 4*batch); err != nil {
+					return nil, cfg, err
+				}
+			}
+		}
+		ds, err := ingest.OpenDataset(dir)
+		if err != nil {
+			return nil, cfg, err
+		}
+		fileCfg := ds.Config()
+		fileCfg.Name = cfg.Name
+		fileCfg.EmbeddingDim = cfg.EmbeddingDim
+		fileCfg.BottomMLP = cfg.BottomMLP
+		fileCfg.TopMLP = cfg.TopMLP
+		fileCfg.Interaction = cfg.Interaction
+		if err := fileCfg.Validate(); err != nil {
+			ds.Close()
+			return nil, cfg, err
+		}
+		p, err := ingest.Open(ds, fileCfg, ingest.Options{
+			BatchSize: batch, Readers: readers, Dedup: dedup, Seed: seed + 2,
+		})
+		if err != nil {
+			ds.Close()
+			return nil, cfg, err
+		}
+		fmt.Fprintf(out, "ingest: %s (%d examples, %d shards, %s), %d readers, dedup=%v\n",
+			dir, ds.Examples(), len(ds.Manifest.Shards), core.HumanBytes(ds.Bytes()), readers, dedup)
+		return &feed{src: p, pipe: p, done: func() { p.Close(); ds.Close() }}, fileCfg, nil
+
+	default:
+		return nil, cfg, fmt.Errorf("dlrmtrain: unknown -data %q (synthetic, file:<dir>)", dataFlag)
+	}
+}
+
+// progressIters chunks the training loop for periodic reporting.
+func progressIters(iters int) int {
+	if iters < 100 {
+		return iters
+	}
+	return 100
+}
+
+func runSingle(out io.Writer, cfg core.Config, fd *feed, batch, iters int, lr float64, seed int64) error {
 	m := core.NewModel(cfg, xrand.New(seed))
 	tr := core.NewTrainer(m, core.TrainerConfig{Optimizer: core.OptAdagrad, LR: lr})
-	gen := data.NewGenerator(cfg, seed+1, data.DefaultOptions())
 
 	start := time.Now()
-	for i := 0; i < iters; i++ {
-		loss := tr.Step(gen.NextBatch(batch))
-		if (i+1)%100 == 0 || i == 0 {
-			eval := core.Evaluate(m, gen.Fork(999).EvalSet(4, 256))
-			fmt.Fprintf(out, "iter %5d  loss %.4f  NE %.4f  acc %.4f\n", i+1, loss, eval.NE, eval.Accuracy)
+	trained := 0
+	for trained < iters {
+		chunk := min(progressIters(iters), iters-trained)
+		loss, steps, err := tr.TrainFrom(fd.src, chunk)
+		if err != nil {
+			return err
+		}
+		trained += steps
+		if steps == 0 {
+			break // finite dataset exhausted
+		}
+		if fd.gen != nil {
+			eval := core.Evaluate(m, fd.gen.Fork(999).EvalSet(4, 256))
+			fmt.Fprintf(out, "iter %5d  loss %.4f  NE %.4f  acc %.4f\n", trained, loss, eval.NE, eval.Accuracy)
+		} else {
+			fmt.Fprintf(out, "iter %5d  loss %.4f\n", trained, loss)
 		}
 	}
-	reportThroughput(out, iters, batch, time.Since(start))
+	reportThroughput(out, trained, batch, time.Since(start))
+	reportIngest(out, fd)
 	return nil
 }
 
-func runHybrid(out io.Writer, cfg core.Config, batch, iters int, lr float64, seed int64, ranks int, platform string) error {
+func runHybrid(out io.Writer, cfg core.Config, fd *feed, batch, iters int, lr float64, seed int64, ranks int, platform string) error {
 	p, err := hw.ByName(platform)
 	if err != nil {
 		return err
@@ -105,36 +202,47 @@ func runHybrid(out io.Writer, cfg core.Config, batch, iters int, lr float64, see
 		return err
 	}
 	defer ht.Close()
-	gen := data.NewGenerator(cfg, seed+1, data.DefaultOptions())
 	fmt.Fprintf(out, "hybrid: %d ranks, link %s, all-reduce overlapped=%v\n",
 		ranks, link.Name, ranks > 1)
 
-	var comp, a2a, ar, exposed, step float64
+	var bd hybrid.StepBreakdown
 	start := time.Now()
-	for i := 0; i < iters; i++ {
-		loss, bd := ht.Step(gen.NextBatch(batch))
-		comp += bd.Compute
-		a2a += bd.AllToAll
-		ar += bd.AllReduce
-		exposed += bd.Exposed
-		step += bd.Step
-		if (i+1)%100 == 0 || i == 0 {
-			eval := core.Evaluate(ht.EvalModel(), gen.Fork(999).EvalSet(4, 256))
-			fmt.Fprintf(out, "iter %5d  loss %.4f  NE %.4f  acc %.4f\n", i+1, loss, eval.NE, eval.Accuracy)
+	trained := 0
+	for trained < iters {
+		chunk := min(progressIters(iters), iters-trained)
+		loss, part, steps, err := ht.TrainFrom(fd.src, chunk)
+		if err != nil {
+			return err
+		}
+		trained += steps
+		bd.Compute += part.Compute
+		bd.AllToAll += part.AllToAll
+		bd.AllReduce += part.AllReduce
+		bd.Exposed += part.Exposed
+		bd.Step += part.Step
+		if steps == 0 {
+			break
+		}
+		if fd.gen != nil {
+			eval := core.Evaluate(ht.EvalModel(), fd.gen.Fork(999).EvalSet(4, 256))
+			fmt.Fprintf(out, "iter %5d  loss %.4f  NE %.4f  acc %.4f\n", trained, loss, eval.NE, eval.Accuracy)
+		} else {
+			fmt.Fprintf(out, "iter %5d  loss %.4f\n", trained, loss)
 		}
 	}
-	reportThroughput(out, iters, batch, time.Since(start))
+	reportThroughput(out, trained, batch, time.Since(start))
+	reportIngest(out, fd)
 
-	if step > 0 {
+	if bd.Step > 0 {
 		fmt.Fprintf(out, "step breakdown: compute %.0f%%  all-to-all %.0f%%  all-reduce %.0f%%  exposed comm %.0f%%\n",
-			100*comp/step, 100*a2a/step, 100*ar/step, 100*exposed/step)
+			100*bd.Compute/bd.Step, 100*bd.AllToAll/bd.Step, 100*bd.AllReduce/bd.Step, 100*bd.Exposed/bd.Step)
 	}
-	if iters > 0 {
+	if trained > 0 {
 		st := ht.CollectiveStats()
 		fmt.Fprintf(out, "collectives: all-to-all %s/iter (analytic %s), all-reduce %s/iter (analytic %s)\n",
-			core.HumanBytes(st.AllToAll.Bytes/int64(iters)),
+			core.HumanBytes(st.AllToAll.Bytes/int64(trained)),
 			core.HumanBytes(int64(perfmodel.HybridAllToAllBytes(cfg, batch, ranks))),
-			core.HumanBytes(st.AllReduce.Bytes/int64(iters)),
+			core.HumanBytes(st.AllReduce.Bytes/int64(trained)),
 			core.HumanBytes(int64(perfmodel.HybridAllReduceBytes(cfg, ranks))))
 	}
 	return nil
@@ -144,4 +252,13 @@ func reportThroughput(out io.Writer, iters, batch int, elapsed time.Duration) {
 	examples := float64(iters * batch)
 	fmt.Fprintf(out, "trained %d examples in %v (%.0f examples/sec)\n",
 		int(examples), elapsed.Round(time.Millisecond), examples/elapsed.Seconds())
+}
+
+func reportIngest(out io.Writer, fd *feed) {
+	if fd.pipe == nil {
+		return
+	}
+	m := fd.pipe.Meters()
+	fmt.Fprintf(out, "ingest meters: read %.1f MB/s, dedup ratio %.2f, starved %.0f%%, ring occupancy %.2f\n",
+		m.ReadMBps(), m.DedupRatio(), 100*m.StarvationFrac(), m.Occupancy())
 }

@@ -32,6 +32,70 @@ func TestRunRejectsBadConfig(t *testing.T) {
 	}
 }
 
+// TestRunFileModeSingle smoke-tests -data=file:<dir> with -materialize:
+// the dataset is written, then trained from disk through the staged
+// pipeline with parallel readers and dedup, in single mode.
+func TestRunFileModeSingle(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	err := run([]string{"-data", "file:" + dir, "-materialize", "-readers", "2", "-dedup",
+		"-dense", "8", "-sparse", "2", "-hash", "100", "-dim", "8",
+		"-batch", "32", "-iters", "20"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"materializing", "ingest:", "2 readers", "dedup=true",
+		"iter", "examples/sec", "ingest meters:", "dedup ratio"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// Second run against the existing dataset must not re-materialize.
+	var out2 strings.Builder
+	err = run([]string{"-data", "file:" + dir, "-materialize", "-readers", "1",
+		"-dense", "8", "-sparse", "2", "-hash", "100", "-dim", "8",
+		"-batch", "32", "-iters", "10"}, &out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out2.String(), "materializing") {
+		t.Errorf("existing dataset re-materialized:\n%s", out2.String())
+	}
+}
+
+// TestRunFileModeHybrid smoke-tests the on-disk pipeline feeding the
+// synchronous hybrid-parallel trainer.
+func TestRunFileModeHybrid(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	err := run([]string{"-mode", "hybrid", "-ranks", "2", "-data", "file:" + dir,
+		"-materialize", "-readers", "2", "-dedup",
+		"-dense", "8", "-sparse", "4", "-hash", "200", "-dim", "8",
+		"-batch", "32", "-iters", "20"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"hybrid: 2 ranks", "ingest:", "iter", "step breakdown:",
+		"collectives:", "ingest meters:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunFileModeErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-data", "file:"}, &out); err == nil {
+		t.Error("empty file dir accepted")
+	}
+	if err := run([]string{"-data", "file:" + t.TempDir()}, &out); err == nil {
+		t.Error("missing dataset accepted without -materialize")
+	}
+	if err := run([]string{"-data", "hdfs://x"}, &out); err == nil {
+		t.Error("unknown -data scheme accepted")
+	}
+}
+
 func TestRunHybridMode(t *testing.T) {
 	var out strings.Builder
 	err := run([]string{"-mode", "hybrid", "-ranks", "2", "-dense", "8", "-sparse", "4",

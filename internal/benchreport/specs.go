@@ -1,12 +1,15 @@
 package benchreport
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/embedding"
 	"repro/internal/hybrid"
+	"repro/internal/ingest"
 	"repro/internal/nn"
 	"repro/internal/tensor"
 	"repro/internal/xrand"
@@ -109,6 +112,54 @@ func DefaultSpecs(filter string) []Spec {
 				}
 				for i := 0; i < iters; i++ {
 					ht.Step(batch)
+				}
+			},
+		})
+	}
+
+	// End-to-end ingestion-fed training step: the staged on-disk reader
+	// pipeline (2 decoders, RecD dedup) feeding the single-process
+	// trainer, measuring the full NextBatch → Step → Recycle cycle
+	// (BenchmarkIngestStep in the repository root measures the same
+	// setup). The dataset materializes lazily into a temp dir on first
+	// use so building specs does no IO.
+	if want("ingest_step") {
+		cfg := BenchStepConfig()
+		var tr *core.Trainer
+		var pipe *ingest.Pipeline
+		specs = append(specs, Spec{
+			Name:          "ingest_step",
+			ExamplesPerOp: benchBatch,
+			Fn: func(iters int) {
+				if pipe == nil {
+					// One stable, deterministic dataset dir per machine,
+					// reused across benchrun invocations (the writer's
+					// equal-seed determinism makes any existing copy
+					// identical) so repeated runs never accumulate /tmp
+					// litter.
+					dir := filepath.Join(os.TempDir(), "repro-ingest-step-bench")
+					if _, err := os.Stat(filepath.Join(dir, "MANIFEST.json")); err != nil {
+						if err := os.RemoveAll(dir); err != nil {
+							panic(err)
+						}
+						gen := data.NewGenerator(cfg, 9, data.DefaultOptions())
+						if err := gen.WriteShards(dir, 4, 4*benchBatch); err != nil {
+							panic(err)
+						}
+					}
+					ds, err := ingest.OpenDataset(dir)
+					if err != nil {
+						panic(err)
+					}
+					if pipe, err = ingest.Open(ds, cfg, ingest.Options{
+						BatchSize: benchBatch, Readers: 2, Dedup: true, Seed: 1,
+					}); err != nil {
+						panic(err)
+					}
+					tr = core.NewTrainer(core.NewModel(cfg, xrand.New(1)), core.TrainerConfig{LR: 0.05})
+				}
+				if _, _, err := tr.TrainFrom(pipe, iters); err != nil {
+					panic(err)
 				}
 			},
 		})

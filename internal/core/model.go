@@ -15,6 +15,39 @@ type MiniBatch struct {
 	Dense  *tensor.Matrix  // B × DenseFeatures
 	Bags   []embedding.Bag // one per sparse feature
 	Labels []float32       // length B, values in {0,1}
+
+	// Dedup optionally carries the RecD-style unique-row view of each
+	// bag (aligned with Bags). When present and built, lookups and
+	// gradient scatters take the dedup kernels — bit-identical math,
+	// fewer table touches. Batch producers (internal/ingest, or
+	// AttachDedup) fill it; nil means the plain kernels run.
+	Dedup []embedding.DedupIndex
+}
+
+// AttachDedup builds (or rebuilds, reusing storage) the per-bag dedup
+// views so consumers take the unique-row lookup path.
+func (b *MiniBatch) AttachDedup() {
+	if cap(b.Dedup) >= len(b.Bags) {
+		b.Dedup = b.Dedup[:len(b.Bags)] // retains each view's storage
+	} else {
+		b.Dedup = make([]embedding.DedupIndex, len(b.Bags))
+	}
+	for i := range b.Bags {
+		b.Dedup[i].Build(b.Bags[i])
+	}
+}
+
+// DetachDedup invalidates the dedup views (their storage is retained for
+// the next AttachDedup). Every producer that rewrites Bags in place must
+// detach, or consumers would pool through a stale unique/remap mapping.
+func (b *MiniBatch) DetachDedup() { b.Dedup = b.Dedup[:0] }
+
+// DedupFor returns the built dedup view for bag i, or nil.
+func (b *MiniBatch) DedupFor(i int) *embedding.DedupIndex {
+	if i >= len(b.Dedup) || !b.Dedup[i].Built() {
+		return nil
+	}
+	return &b.Dedup[i]
 }
 
 // Batch returns the number of examples.
@@ -126,7 +159,11 @@ func (m *Model) Forward(b *MiniBatch) []float32 {
 		}
 	}
 	for i, tab := range m.Tables {
-		tab.BagForwardInto(b.Bags[i], m.pooled[i], m.embScratch)
+		if dd := b.DedupFor(i); dd != nil {
+			tab.BagForwardDedup(b.Bags[i], dd, m.pooled[i], m.embScratch)
+		} else {
+			tab.BagForwardInto(b.Bags[i], m.pooled[i], m.embScratch)
+		}
 	}
 	logits := m.ForwardPooled(b.Dense, m.pooled)
 	m.batch = b
@@ -240,7 +277,11 @@ func (m *Model) Backward(dLogits []float32) []*embedding.SparseGrad {
 	}
 	for i, tab := range m.Tables {
 		m.sparseGrads[i].Reset()
-		tab.BagBackward(b.Bags[i], dPooled[i], m.sparseGrads[i])
+		if dd := b.DedupFor(i); dd != nil {
+			tab.BagBackwardDedup(b.Bags[i], dd, dPooled[i], m.sparseGrads[i], m.embScratch)
+		} else {
+			tab.BagBackward(b.Bags[i], dPooled[i], m.sparseGrads[i])
+		}
 	}
 	return m.sparseGrads
 }

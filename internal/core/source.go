@@ -1,0 +1,56 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// BatchSource supplies training batches to a trainer. Implementations
+// stream from sharded on-disk datasets (internal/ingest) or synthesize in
+// memory (data.GeneratorSource); the interface is the seam at which the
+// feeding pipeline — the paper's disaggregated reader tier (§IV-B2) — is
+// swapped under a trainer without touching the training loop.
+//
+// The Recycle contract is the backpressure protocol: a consumer that is
+// done with a batch hands it back so the producer refills it in place
+// instead of allocating. A bounded producer that has lent out every batch
+// blocks until one comes back; a consumer that never recycles therefore
+// stalls a bounded source. Recycling a batch the source did not produce
+// is allowed and simply ignored by sources that cannot reuse it.
+type BatchSource interface {
+	// NextBatch returns the next batch, blocking until one is ready. It
+	// returns io.EOF after the final batch of a finite stream.
+	NextBatch() (*MiniBatch, error)
+	// Recycle returns an exhausted batch to the source for reuse. The
+	// caller must not touch the batch afterwards.
+	Recycle(*MiniBatch)
+}
+
+// TrainFrom drives the trainer from a BatchSource for up to iters steps
+// (every step recycles its batch), returning the mean training loss over
+// the steps taken and the step count. A finite source ending early is not
+// an error; the step count just comes up short.
+func (t *Trainer) TrainFrom(src BatchSource, iters int) (meanLoss float64, steps int, err error) {
+	var sum float64
+	for steps < iters {
+		b, err := src.NextBatch()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return meanOf(sum, steps), steps, fmt.Errorf("core: batch source: %w", err)
+		}
+		sum += t.Step(b)
+		src.Recycle(b)
+		steps++
+	}
+	return meanOf(sum, steps), steps, nil
+}
+
+func meanOf(sum float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/embedding"
+	"repro/internal/ingest"
 	"repro/internal/tensor"
 	"repro/internal/xrand"
 )
@@ -162,6 +163,10 @@ func (g *Generator) rawBatchInto(b int, mb *core.MiniBatch) *core.MiniBatch {
 	}
 	mb.Labels = mb.Labels[:b]
 	clear(mb.Labels)
+	// A recycled batch may carry dedup views from a previous producer
+	// (e.g. an ingest pipeline); they describe the old bags, not the
+	// freshly drawn ones.
+	mb.DetachDedup()
 	return mb
 }
 
@@ -220,6 +225,71 @@ func (g *Generator) EvalSet(batches, batchSize int) []*core.MiniBatch {
 		out[i] = g.NextBatch(batchSize)
 	}
 	return out
+}
+
+// WriteShards materializes a synthetic dataset to dir in the ingest shard
+// format: shards files of examplesPerShard examples each, plus the
+// manifest. The examples are drawn from this generator's stream (the call
+// advances it), so two fresh generators with equal seeds write
+// bit-identical datasets — the determinism contract the ingest format
+// tests pin. Batches are drawn in chunks of up to 256 examples.
+func (g *Generator) WriteShards(dir string, shards, examplesPerShard int) error {
+	w, err := ingest.NewShardWriter(dir, g.cfg)
+	if err != nil {
+		return err
+	}
+	var mb *core.MiniBatch
+	for s := 0; s < shards; s++ {
+		for left := examplesPerShard; left > 0; {
+			chunk := left
+			if chunk > 256 {
+				chunk = 256
+			}
+			mb = g.NextBatchInto(chunk, mb)
+			if err := w.Append(mb); err != nil {
+				return err
+			}
+			left -= chunk
+		}
+		if err := w.EndShard(); err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// GeneratorSource adapts a Generator to core.BatchSource: the in-memory
+// baseline feed the ingest_scaling experiment compares the on-disk
+// pipeline against. Recycled batches refill in place, so steady-state
+// feeding is allocation-free; the stream is infinite (NextBatch never
+// returns io.EOF).
+type GeneratorSource struct {
+	g     *Generator
+	batch int
+	free  []*core.MiniBatch
+}
+
+// NewSource wraps the generator as a BatchSource producing batches of the
+// given size.
+func (g *Generator) NewSource(batchSize int) *GeneratorSource {
+	return &GeneratorSource{g: g, batch: batchSize}
+}
+
+// NextBatch implements core.BatchSource.
+func (s *GeneratorSource) NextBatch() (*core.MiniBatch, error) {
+	var mb *core.MiniBatch
+	if n := len(s.free); n > 0 {
+		mb = s.free[n-1]
+		s.free = s.free[:n-1]
+	}
+	return s.g.NextBatchInto(s.batch, mb), nil
+}
+
+// Recycle implements core.BatchSource.
+func (s *GeneratorSource) Recycle(mb *core.MiniBatch) {
+	if mb != nil {
+		s.free = append(s.free, mb)
+	}
 }
 
 // Reader streams batches through a bounded channel from a dedicated

@@ -1,7 +1,10 @@
 package data
 
 import (
+	"bytes"
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -171,6 +174,80 @@ func TestEvalSet(t *testing.T) {
 		if b.Batch() != 16 {
 			t.Errorf("eval batch size %d", b.Batch())
 		}
+	}
+}
+
+// TestNextBatchIntoDetachesDedup: refilling a recycled batch that carried
+// dedup views (e.g. one produced by an ingest pipeline) must invalidate
+// them — the views describe the old bags, and training through a stale
+// unique/remap mapping would corrupt labels and gradients silently.
+func TestNextBatchIntoDetachesDedup(t *testing.T) {
+	cfg := genConfig()
+	g := NewGenerator(cfg, 55, DefaultOptions())
+	mb := g.NextBatch(16)
+	mb.AttachDedup()
+	if mb.DedupFor(0) == nil {
+		t.Fatal("AttachDedup did not build a view")
+	}
+	mb = g.NextBatchInto(16, mb)
+	for i := range mb.Bags {
+		if mb.DedupFor(i) != nil {
+			t.Fatalf("refilled batch still exposes a dedup view for bag %d", i)
+		}
+	}
+	// Re-attaching after refill must be valid for the new bags.
+	mb.AttachDedup()
+	for i := range mb.Bags {
+		d := mb.DedupFor(i)
+		for k, ix := range mb.Bags[i].Indices {
+			if d.Unique[d.Remap[k]] != ix {
+				t.Fatalf("bag %d: rebuilt view inconsistent at %d", i, k)
+			}
+		}
+	}
+}
+
+// TestWriteShardsDeterministic: two generators with equal seeds must
+// materialize bit-identical datasets — every shard file and the manifest.
+func TestWriteShardsDeterministic(t *testing.T) {
+	cfg := genConfig()
+	dirs := [2]string{t.TempDir(), t.TempDir()}
+	for i, dir := range dirs {
+		g := NewGenerator(cfg, 77, DefaultOptions())
+		if err := g.WriteShards(dir, 3, 40); err != nil {
+			t.Fatalf("WriteShards run %d: %v", i, err)
+		}
+	}
+	entries, err := os.ReadDir(dirs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 { // 3 shards + manifest
+		t.Fatalf("dataset has %d files, want 4", len(entries))
+	}
+	for _, e := range entries {
+		a, err := os.ReadFile(filepath.Join(dirs[0], e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirs[1], e.Name()))
+		if err != nil {
+			t.Fatalf("second run missing %s: %v", e.Name(), err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s differs between equal-seed runs", e.Name())
+		}
+	}
+	// A different seed must produce a different dataset.
+	dir3 := t.TempDir()
+	g := NewGenerator(cfg, 78, DefaultOptions())
+	if err := g.WriteShards(dir3, 3, 40); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(filepath.Join(dirs[0], "shard-00000.rsd"))
+	b, _ := os.ReadFile(filepath.Join(dir3, "shard-00000.rsd"))
+	if bytes.Equal(a, b) {
+		t.Fatal("different seeds wrote identical shards")
 	}
 }
 

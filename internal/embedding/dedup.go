@@ -1,0 +1,130 @@
+package embedding
+
+import "repro/internal/tensor"
+
+// DedupIndex is the RecD-style within-batch unique-row view of a Bag.
+// Production sparse traffic repeats rows heavily inside one mini-batch
+// (the Zipf skew of §III-A2); RecD (Zhao et al.) exploits that by looking
+// each unique row up once and scattering through an inverse index. Build
+// extracts the view from a Bag:
+//
+//	Bag.Indices[k] == Unique[Remap[k]]   for every k
+//
+// with Unique in first-occurrence order. Dedup kernels that consume the
+// view (BagForwardDedup, BagBackwardDedup) are bit-identical to their
+// plain counterparts — the dedup changes memory traffic, not math — and
+// first-occurrence order keeps SparseGrad's first-touch iteration, and
+// therefore optimizer application order, unchanged.
+//
+// A DedupIndex is reusable: Build retains the map and slices across
+// batches, so steady-state rebuilds are allocation-free once capacities
+// stabilize. It is not safe for concurrent Build calls.
+type DedupIndex struct {
+	Unique []int32 // unique row ids, first-occurrence order
+	Remap  []int32 // len(Bag.Indices); position of each index in Unique
+
+	seen map[int32]int32 // row id -> position in Unique
+}
+
+// Build fills the view from the bag, reusing all internal storage.
+func (d *DedupIndex) Build(bag Bag) {
+	if d.seen == nil {
+		d.seen = make(map[int32]int32)
+	} else {
+		clear(d.seen)
+	}
+	d.Unique = d.Unique[:0]
+	d.Remap = d.Remap[:0]
+	for _, ix := range bag.Indices {
+		u, ok := d.seen[ix]
+		if !ok {
+			u = int32(len(d.Unique))
+			d.seen[ix] = u
+			d.Unique = append(d.Unique, ix)
+		}
+		d.Remap = append(d.Remap, u)
+	}
+}
+
+// Built reports whether the view holds a batch (an empty bag still counts
+// as built after Build; a zero DedupIndex does not).
+func (d *DedupIndex) Built() bool { return d.seen != nil }
+
+// Ratio returns total lookups / unique lookups, the RecD dedup win. An
+// all-unique batch yields exactly 1.
+func (d *DedupIndex) Ratio() float64 {
+	if len(d.Unique) == 0 {
+		return 1
+	}
+	return float64(len(d.Remap)) / float64(len(d.Unique))
+}
+
+// ensureSlab grows (without shrinking) a float32 slab to n elements.
+func ensureSlab(buf []float32, n int) []float32 {
+	if cap(buf) < n {
+		return make([]float32, n)
+	}
+	return buf[:n]
+}
+
+// BagForwardDedup is the dedup counterpart of BagForwardInto: it gathers
+// each unique row once from the table into the scratch's staging slab,
+// then sum-pools every example from the compact staging copy. The pooled
+// result is bit-identical to BagForwardInto (same rows added in the same
+// order); the table is touched len(Unique) times instead of
+// len(Indices), which is what the lookup counter charges — the counter
+// meters physical row reads, and fewer of them is the point.
+func (t *Table) BagForwardDedup(bag Bag, d *DedupIndex, out *tensor.Matrix, sc *Scratch) {
+	if out.Rows != bag.Batch() || out.Cols != t.Dim {
+		panic("embedding: dedup forward output shape mismatch")
+	}
+	dim := t.Dim
+	sc.gather = ensureSlab(sc.gather, len(d.Unique)*dim)
+	for u, ix := range d.Unique {
+		copy(sc.gather[u*dim:(u+1)*dim], t.Weights.Row(int(ix)))
+	}
+	for i := 0; i < bag.Batch(); i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] = 0
+		}
+		rm := d.Remap[bag.Offsets[i]:bag.Offsets[i+1]]
+		k := 0
+		for ; k+2 <= len(rm); k += 2 {
+			a := int(rm[k]) * dim
+			b := int(rm[k+1]) * dim
+			tensor.AddTo2(row, sc.gather[a:a+dim], sc.gather[b:b+dim])
+		}
+		if k < len(rm) {
+			a := int(rm[k]) * dim
+			tensor.AddTo(row, sc.gather[a:a+dim])
+		}
+	}
+	t.lookups.add(sc.stripe, uint64(len(d.Unique)))
+}
+
+// BagBackwardDedup is the dedup counterpart of BagBackward: per-example
+// pooled-output gradients accumulate densely into a unique-row slab
+// (indexed by Remap — no per-occurrence map probes), then each unique row
+// folds once into acc. Accumulation visits occurrences in exactly the
+// plain kernel's order and unique rows in first-occurrence order, so the
+// resulting SparseGrad — values and first-touch key order — is
+// bit-identical to BagBackward's.
+func (t *Table) BagBackwardDedup(bag Bag, d *DedupIndex, dOut *tensor.Matrix, acc *SparseGrad, sc *Scratch) {
+	if dOut.Rows != bag.Batch() || dOut.Cols != t.Dim {
+		panic("embedding: dedup backward grad shape mismatch")
+	}
+	dim := t.Dim
+	n := len(d.Unique) * dim
+	sc.gaccum = ensureSlab(sc.gaccum, n)
+	clear(sc.gaccum[:n])
+	for i := 0; i < bag.Batch(); i++ {
+		g := dOut.Row(i)
+		for _, u := range d.Remap[bag.Offsets[i]:bag.Offsets[i+1]] {
+			tensor.AddTo(sc.gaccum[int(u)*dim:(int(u)+1)*dim], g)
+		}
+	}
+	for u, ix := range d.Unique {
+		acc.Add(ix, sc.gaccum[u*dim:(u+1)*dim])
+	}
+}

@@ -56,6 +56,12 @@ func (c *stripedCount) reset() {
 // counter instead of contending on a single atomic.
 type Scratch struct {
 	stripe int
+
+	// dedup staging slabs (BagForwardDedup / BagBackwardDedup): the
+	// unique-row gather copy and the dense unique-row gradient
+	// accumulator. Grown to the largest unique×dim seen, never shrunk.
+	gather []float32
+	gaccum []float32
 }
 
 var scratchSeq atomic.Int64

@@ -53,6 +53,7 @@ var registry = map[string]struct {
 	"fig14":          {"Fig 14: embedding placements on Big Basin vs Zion (M2prod)", fig14},
 	"fig15":          {"Fig 15: accuracy loss vs batch size after manual tuning", fig15},
 	"hybrid_scaling": {"Hybrid-parallel scaling: ranks x batch comm/compute breakdown (real collectives)", hybridScaling},
+	"ingest_scaling": {"Ingestion scaling: readers per trainer, reader-bound vs trainer-bound crossover + RecD dedup", ingestScaling},
 	"memtier":        {"Tiered memory: cache capacity vs hit rate vs throughput (MTrainS-style)", memtierSweep},
 	"table1":         {"Table I: hardware platform details", table1},
 	"table2":         {"Table II: production model descriptions", table2},

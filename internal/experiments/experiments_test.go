@@ -7,8 +7,8 @@ import (
 
 func TestIDsStable(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 18 {
-		t.Fatalf("%d experiments registered, want 18", len(ids))
+	if len(ids) != 19 {
+		t.Fatalf("%d experiments registered, want 19", len(ids))
 	}
 	for _, id := range ids {
 		if Title(id) == "" {
@@ -43,6 +43,26 @@ func TestAllExperimentsRun(t *testing.T) {
 				t.Errorf("%s: metadata %q %q", id, res.ID, res.Title)
 			}
 		})
+	}
+}
+
+// TestIngestScalingShowsCrossover pins the ingest_scaling acceptance
+// shape: a single bandwidth-throttled reader is reader-bound (starved
+// trainer), and the dedup meter contrasts Zipf-skewed traffic (>1)
+// against all-unique traffic (exactly 1.00).
+func TestIngestScalingShowsCrossover(t *testing.T) {
+	res, err := Run("ingest_scaling", Options{Quick: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"reader-bound", "in-memory generator baseline",
+		"hybrid trainer from disk", "1.00 on all-unique traffic"} {
+		if !strings.Contains(res.Output, want) {
+			t.Errorf("ingest_scaling output missing %q:\n%s", want, res.Output)
+		}
+	}
+	if strings.Contains(res.Output, "WARNING") {
+		t.Errorf("throttled single reader failed to starve the trainer:\n%s", res.Output)
 	}
 }
 

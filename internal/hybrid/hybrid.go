@@ -29,7 +29,9 @@
 package hybrid
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -283,6 +285,47 @@ func (t *Trainer) Step(b *core.MiniBatch) (float64, StepBreakdown) {
 	return loss, bd
 }
 
+// TrainFrom drives the hybrid trainer from a BatchSource for up to iters
+// synchronous steps (every step recycles its batch), returning the mean
+// training loss, the accumulated step breakdown, and the step count. A
+// finite source ending early is not an error; a batch with fewer
+// examples than ranks (a finite stream's partial tail) is recycled and
+// skipped rather than stepped, since a synchronous step needs at least
+// one example per rank.
+func (t *Trainer) TrainFrom(src core.BatchSource, iters int) (meanLoss float64, total StepBreakdown, steps int, err error) {
+	var sum float64
+	for steps < iters {
+		b, err := src.NextBatch()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return 0, total, steps, fmt.Errorf("hybrid: batch source: %w", err)
+		}
+		if b.Batch() < t.HC.Ranks {
+			src.Recycle(b)
+			continue
+		}
+		loss, bd := t.Step(b)
+		src.Recycle(b)
+		sum += loss
+		total.Compute += bd.Compute
+		total.AllToAll += bd.AllToAll
+		total.AllReduce += bd.AllReduce
+		total.Exposed += bd.Exposed
+		total.Step += bd.Step
+		total.AllToAllBytes += bd.AllToAllBytes
+		total.AllReduceBytes += bd.AllReduceBytes
+		total.ModelAllToAllSec += bd.ModelAllToAllSec
+		total.ModelAllReduceSec += bd.ModelAllReduceSec
+		steps++
+	}
+	if steps > 0 {
+		sum /= float64(steps)
+	}
+	return sum, total, steps, nil
+}
+
 // EvalModel returns a model view over rank 0's dense replica and the full
 // sharded table set, for held-out evaluation between steps. The view
 // aliases the trainer's parameters; do not evaluate concurrently with
@@ -400,9 +443,14 @@ func (r *rank) step(lr float64) {
 	r.ensure(B)
 
 	// 1. Model-parallel lookups: pool the owned tables over the whole
-	// global batch.
+	// global batch. Batches carrying a RecD dedup view (internal/ingest)
+	// take the unique-row kernels — identical math, fewer table reads.
 	for _, ti := range r.owned {
-		t.tables[ti].BagForwardInto(b.Bags[ti], r.pooledOwned[ti], r.scratch)
+		if dd := b.DedupFor(ti); dd != nil {
+			t.tables[ti].BagForwardDedup(b.Bags[ti], dd, r.pooledOwned[ti], r.scratch)
+		} else {
+			t.tables[ti].BagForwardInto(b.Bags[ti], r.pooledOwned[ti], r.scratch)
+		}
 	}
 
 	// 2. Pack pooled rows per destination: rank j receives its examples'
@@ -546,7 +594,11 @@ func (r *rank) applySparse(lr float64) {
 	for oi, ti := range r.owned {
 		sg := r.sparseGrad[ti]
 		sg.Reset()
-		t.tables[ti].BagBackward(t.batch.Bags[ti], r.dPooledOwned[ti], sg)
+		if dd := t.batch.DedupFor(ti); dd != nil {
+			t.tables[ti].BagBackwardDedup(t.batch.Bags[ti], dd, r.dPooledOwned[ti], sg, r.scratch)
+		} else {
+			t.tables[ti].BagBackward(t.batch.Bags[ti], r.dPooledOwned[ti], sg)
+		}
 		if r.sgd != nil {
 			r.sparseS[oi].LR = float32(t.HC.SparseLR) * scale
 			r.sparseS[oi].Apply(sg)

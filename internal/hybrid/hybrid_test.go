@@ -1,6 +1,7 @@
 package hybrid
 
 import (
+	"io"
 	"math"
 	"testing"
 
@@ -92,6 +93,119 @@ func TestDeterministicAndOverlapInvariant(t *testing.T) {
 		if base[i] != overlapped[i] {
 			t.Fatalf("step %d: overlap changed the math (%v vs %v)", i, base[i], overlapped[i])
 		}
+	}
+}
+
+// hybridLossesDedup trains with the RecD dedup view attached to every
+// batch (the internal/ingest pipeline's arrangement).
+func hybridLossesDedup(t *testing.T, cfg core.Config, hc Config, steps, batch int) []float64 {
+	t.Helper()
+	ht, err := New(cfg, hc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ht.Close()
+	gen := data.NewGenerator(cfg, 7, data.DefaultOptions())
+	losses := make([]float64, steps)
+	for i := range losses {
+		b := gen.NextBatch(batch)
+		b.AttachDedup()
+		losses[i], _ = ht.Step(b)
+	}
+	return losses
+}
+
+// TestDedupBitIdenticalAcrossRanks is the RecD acceptance criterion:
+// training with within-batch dedup on must produce a bit-identical loss
+// curve to dedup off, for 1-, 2-, and 4-rank hybrid training — the dedup
+// changes the work (unique-row gathers, dense unique-grad accumulation),
+// never the math.
+func TestDedupBitIdenticalAcrossRanks(t *testing.T) {
+	cfg := testCfg()
+	const steps, batch = 20, 64
+	for _, ranks := range []int{1, 2, 4} {
+		hc := Config{Ranks: ranks, Seed: 3, LR: 0.05, Overlap: ranks > 1}
+		off := hybridLosses(t, cfg, hc, steps, batch)
+		on := hybridLossesDedup(t, cfg, hc, steps, batch)
+		for i := range off {
+			if off[i] != on[i] {
+				t.Fatalf("ranks=%d step %d: dedup changed the loss (%v vs %v)",
+					ranks, i, on[i], off[i])
+			}
+		}
+	}
+}
+
+// TestDedupBitIdenticalSingleTrainer covers the single-process trainer's
+// dedup path the same way.
+func TestDedupBitIdenticalSingleTrainer(t *testing.T) {
+	cfg := testCfg()
+	const steps, batch = 20, 64
+	run := func(dedup bool) []float64 {
+		m := core.NewModel(cfg, xrand.New(1))
+		tr := core.NewTrainer(m, core.TrainerConfig{Optimizer: core.OptAdagrad, LR: 0.05})
+		gen := data.NewGenerator(cfg, 7, data.DefaultOptions())
+		losses := make([]float64, steps)
+		for i := range losses {
+			b := gen.NextBatch(batch)
+			if dedup {
+				b.AttachDedup()
+			}
+			losses[i] = tr.Step(b)
+		}
+		return losses
+	}
+	off, on := run(false), run(true)
+	for i := range off {
+		if off[i] != on[i] {
+			t.Fatalf("step %d: dedup changed the loss (%v vs %v)", i, on[i], off[i])
+		}
+	}
+}
+
+// tailSource emits full batches followed by one sub-rank tail batch,
+// then io.EOF — the shape a finite ingest stream ends with.
+type tailSource struct {
+	gen     *data.Generator
+	full    int // full batches remaining
+	tail    int // tail batch size (< ranks)
+	emitted bool
+}
+
+func (s *tailSource) NextBatch() (*core.MiniBatch, error) {
+	if s.full > 0 {
+		s.full--
+		return s.gen.NextBatch(32), nil
+	}
+	if !s.emitted {
+		s.emitted = true
+		return s.gen.NextBatch(s.tail), nil
+	}
+	return nil, io.EOF
+}
+
+func (s *tailSource) Recycle(*core.MiniBatch) {}
+
+// TestTrainFromSkipsSubRankTail: a finite stream whose final partial
+// batch is smaller than the rank count must be skipped, not panic the
+// synchronous step.
+func TestTrainFromSkipsSubRankTail(t *testing.T) {
+	cfg := testCfg()
+	ht, err := New(cfg, Config{Ranks: 4, Seed: 1, LR: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ht.Close()
+	src := &tailSource{gen: data.NewGenerator(cfg, 7, data.DefaultOptions()), full: 3, tail: 2}
+	loss, _, steps, err := ht.TrainFrom(src, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 3 {
+		t.Fatalf("trained %d steps, want 3 full batches (tail skipped)", steps)
+	}
+	if math.IsNaN(loss) || loss <= 0 {
+		t.Fatalf("degenerate mean loss %v", loss)
 	}
 }
 

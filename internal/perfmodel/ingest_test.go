@@ -1,0 +1,62 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func ingestCfg() core.Config {
+	return core.Config{
+		Name:          "ingest-model",
+		DenseFeatures: 16,
+		Sparse:        core.UniformSparse(4, 1000, 5),
+		EmbeddingDim:  8,
+		BottomMLP:     []int{16},
+		TopMLP:        []int{16},
+		Interaction:   core.Concat,
+	}
+}
+
+func TestIngestRecordBytesExact(t *testing.T) {
+	// label(1) + dense(16*4) + per feature uint16 + 4 bytes/index.
+	got := IngestRecordBytes(16, []int{3, 0, 7, 1})
+	want := int64(1 + 64 + (2 + 12) + 2 + (2 + 28) + (2 + 4))
+	if got != want {
+		t.Fatalf("IngestRecordBytes = %d, want %d", got, want)
+	}
+}
+
+func TestIngestBytesPerExampleMatchesRecordBytes(t *testing.T) {
+	cfg := ingestCfg()
+	// With every feature at exactly its mean count, the expectation and
+	// the exact record size must agree.
+	counts := []int{5, 5, 5, 5}
+	if got, want := IngestBytesPerExample(cfg), float64(IngestRecordBytes(16, counts)); got != want {
+		t.Fatalf("IngestBytesPerExample = %v, exact record = %v", got, want)
+	}
+}
+
+func TestIngestRoofline(t *testing.T) {
+	cfg := ingestCfg()
+	perEx := IngestBytesPerExample(cfg)
+	if need := IngestBandwidthNeeded(cfg, 1000); need != 1000*perEx {
+		t.Fatalf("bandwidth needed %v, want %v", need, 1000*perEx)
+	}
+	if got := IngestExamplesPerSec(cfg, 2, 10*perEx); got != 20 {
+		t.Fatalf("2 readers at 10 ex/s each deliver %v ex/s, want 20", got)
+	}
+	if got := IngestExamplesPerSec(cfg, 0, 100); got != 0 {
+		t.Fatalf("0 readers deliver %v", got)
+	}
+	// Readers needed: strictly enough, no more than one spare.
+	for _, exs := range []float64{100, 1234, 99999} {
+		n := IngestReadersNeeded(cfg, exs, 1<<20)
+		if IngestExamplesPerSec(cfg, n, 1<<20) < exs {
+			t.Fatalf("%d readers cannot sustain %v ex/s", n, exs)
+		}
+		if n > 1 && IngestExamplesPerSec(cfg, n-1, 1<<20) >= exs {
+			t.Fatalf("%d readers overshoot for %v ex/s", n, exs)
+		}
+	}
+}

@@ -2,7 +2,7 @@
 // reproduction of "Understanding Training Efficiency of Deep Learning
 // Recommendation Models at Scale" (HPCA 2021).
 //
-// It bundles five capabilities:
+// It bundles six capabilities:
 //
 //   - a real DLRM training stack (models, embedding tables, optimizers,
 //     synthetic click data, single-node and distributed trainers) whose
@@ -16,6 +16,12 @@
 //     exchanged with all-to-all, over real in-process collectives whose
 //     byte meters are validated against the analytic volumes
 //     (HybridAllToAllBytes, HybridAllReduceBytes);
+//   - a real data-ingestion subsystem (internal/ingest): a compact
+//     sharded on-disk record format plus a staged reader pipeline —
+//     parallel shard decode, bounded shuffle, RecD-style within-batch
+//     sparse dedup, recycled prefetch ring with explicit backpressure —
+//     feeding either trainer through BatchSource, with per-stage meters
+//     (read MB/s, dedup ratio, occupancy, trainer starvation);
 //   - an analytic + discrete-event performance model of the paper's
 //     hardware platforms (dual-socket CPU, Big Basin, Zion) and embedding
 //     placement strategies;
@@ -41,9 +47,11 @@ import (
 	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/embedding"
 	"repro/internal/experiments"
 	"repro/internal/hw"
 	"repro/internal/hybrid"
+	"repro/internal/ingest"
 	"repro/internal/memtier"
 	"repro/internal/perfmodel"
 	"repro/internal/placement"
@@ -116,6 +124,34 @@ type (
 	CollectiveLink = collective.Link
 	// CollectiveStats are the cumulative per-operation collective meters.
 	CollectiveStats = collective.Totals
+	// BatchSource supplies training batches to either trainer — the seam
+	// where the in-memory generator and the on-disk ingestion pipeline
+	// swap under a training loop (Trainer.TrainFrom,
+	// HybridTrainer.TrainFrom).
+	BatchSource = core.BatchSource
+	// GeneratorSource is the in-memory BatchSource over a Generator
+	// (Generator.NewSource).
+	GeneratorSource = data.GeneratorSource
+	// IngestDataset is an opened sharded on-disk dataset (manifest +
+	// shard handles).
+	IngestDataset = ingest.Dataset
+	// IngestManifest is a dataset's schema and shard index.
+	IngestManifest = ingest.Manifest
+	// IngestOptions tunes the staged reader pipeline (readers, prefetch
+	// depth, shuffle window, RecD dedup, bandwidth emulation).
+	IngestOptions = ingest.Options
+	// IngestPipeline is the staged reader pipeline: parallel shard
+	// decode → bounded shuffle → batch assembly with within-batch dedup
+	// into a recycled prefetch ring. It implements BatchSource.
+	IngestPipeline = ingest.Pipeline
+	// IngestMeters is the pipeline's per-stage meter snapshot (read
+	// MB/s, dedup ratio, ring occupancy, trainer starvation).
+	IngestMeters = ingest.MeterSnapshot
+	// IngestShardWriter materializes datasets shard by shard.
+	IngestShardWriter = ingest.ShardWriter
+	// DedupIndex is the RecD-style within-batch unique-row view of a
+	// sparse bag (MiniBatch.AttachDedup builds one per feature).
+	DedupIndex = embedding.DedupIndex
 )
 
 // Placement strategies (Fig 8, plus the tiered-memory extension).
@@ -283,6 +319,29 @@ func HybridAllReduceBytes(cfg ModelConfig, ranks int) float64 {
 	return perfmodel.HybridAllReduceBytes(cfg, ranks)
 }
 
+// NewShardWriter creates a dataset directory and returns a writer that
+// materializes batches into the sharded ingest record format.
+func NewShardWriter(dir string, cfg ModelConfig) (*IngestShardWriter, error) {
+	return ingest.NewShardWriter(dir, cfg)
+}
+
+// OpenDataset opens a sharded on-disk dataset written by NewShardWriter
+// (or Generator.WriteShards).
+func OpenDataset(dir string) (*IngestDataset, error) { return ingest.OpenDataset(dir) }
+
+// OpenIngestPipeline starts the staged reader pipeline over a dataset;
+// the result feeds either trainer via TrainFrom. Close it when done.
+func OpenIngestPipeline(ds *IngestDataset, cfg ModelConfig, opt IngestOptions) (*IngestPipeline, error) {
+	return ingest.Open(ds, cfg, opt)
+}
+
+// IngestBytesPerExample returns the expected on-disk record size of one
+// example of cfg — the analytic side of the reader-bandwidth roofline
+// metered by IngestMeters.
+func IngestBytesPerExample(cfg ModelConfig) float64 {
+	return perfmodel.IngestBytesPerExample(cfg)
+}
+
 // Experiments lists the regenerable paper artifacts.
 func Experiments() []string { return experiments.IDs() }
 
@@ -292,7 +351,7 @@ func RunExperiment(id string, opt ExperimentOptions) (ExperimentResult, error) {
 }
 
 // Version identifies the reproduction release.
-const Version = "1.3.0"
+const Version = "1.4.0"
 
 // Describe returns a one-line summary of a model config.
 func Describe(cfg ModelConfig) string {

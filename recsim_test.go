@@ -162,7 +162,7 @@ func TestPublicAPITieredPlacement(t *testing.T) {
 
 func TestPublicAPIExperiments(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 18 {
+	if len(ids) != 19 {
 		t.Fatalf("Experiments() = %d ids", len(ids))
 	}
 	res, err := RunExperiment("table1", ExperimentOptions{Quick: true})
