@@ -16,6 +16,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/perfmodel"
 	"repro/internal/placement"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -72,6 +73,24 @@ func BenchmarkTrainStep(b *testing.B) {
 	b.ReportMetric(float64(128*b.N)/b.Elapsed().Seconds(), "examples/sec")
 }
 
+// BenchmarkTrainStepTraced is BenchmarkTrainStep with span tracing on:
+// the delta against the untraced number is the telemetry overhead, whose
+// acceptance bound is < 3% (cmd/benchrun records the same pair as the
+// telemetry_overhead_single speedup).
+func BenchmarkTrainStepTraced(b *testing.B) {
+	cfg := benchreport.BenchStepConfig()
+	m := NewModel(cfg, 1)
+	tr := NewTrainer(m, TrainerConfig{LR: 0.05})
+	tr.SetTrace(telemetry.NewTracer(1, 4096), 0)
+	gen := NewGenerator(cfg, 2)
+	batch := gen.NextBatch(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Step(batch)
+	}
+	b.ReportMetric(float64(128*b.N)/b.Elapsed().Seconds(), "examples/sec")
+}
+
 // BenchmarkHybridStep measures one synchronous hybrid-parallel step on 2
 // in-process ranks over the same model/batch as BenchmarkTrainStep, so
 // the parallelization overhead (collectives + pack/unpack) is directly
@@ -80,6 +99,26 @@ func BenchmarkTrainStep(b *testing.B) {
 func BenchmarkHybridStep(b *testing.B) {
 	cfg := benchreport.BenchStepConfig()
 	ht, err := hybrid.New(cfg, hybrid.Config{Ranks: 2, LR: 0.05, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ht.Close()
+	gen := NewGenerator(cfg, 2)
+	batch := gen.NextBatch(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ht.Step(batch)
+	}
+	b.ReportMetric(float64(128*b.N)/b.Elapsed().Seconds(), "examples/sec")
+}
+
+// BenchmarkHybridStepTraced is BenchmarkHybridStep with span tracing on
+// across both rank shards (telemetry_overhead_hybrid in cmd/benchrun).
+func BenchmarkHybridStepTraced(b *testing.B) {
+	cfg := benchreport.BenchStepConfig()
+	hc := hybrid.Config{Ranks: 2, LR: 0.05, Seed: 1}
+	hc.Trace = telemetry.NewTracer(hc.ShardCount(), 4096)
+	ht, err := hybrid.New(cfg, hc)
 	if err != nil {
 		b.Fatal(err)
 	}

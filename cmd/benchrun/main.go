@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/benchreport"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -40,6 +41,7 @@ func run(args []string, out io.Writer) error {
 	bench := fs.String("bench", "", "only run benchmarks whose name contains this substring")
 	baseline := fs.String("baseline", "", "prior BENCH_*.json whose ns/op become the baseline")
 	note := fs.String("note", "", "free-form note recorded in the report")
+	httpAddr := fs.String("telemetry.http", "", "serve /metrics, /debug/vars and /debug/pprof on this address while benchmarks run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -47,6 +49,19 @@ func run(args []string, out io.Writer) error {
 	opts := benchreport.Options{MinTime: *mintime, Filter: *bench}
 	if *quick {
 		opts.MinTime = 30 * time.Millisecond
+	}
+
+	if *httpAddr != "" {
+		// Expose run progress (and pprof for profiling a long benchmark
+		// run) over the unified telemetry endpoint.
+		reg := telemetry.NewRegistry()
+		benchesDone := reg.Counter("benchrun/benchmarks_done")
+		opts.AfterEach = func(string) { benchesDone.Inc() }
+		srv, err := telemetry.Serve(*httpAddr, reg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "telemetry: serving /metrics, /debug/vars, /debug/pprof on %s\n", srv.Addr)
 	}
 
 	fmt.Fprintf(out, "benchrun: measuring %s/benchmark, GOMAXPROCS=%d\n", opts.MinTime, runtime.GOMAXPROCS(0))

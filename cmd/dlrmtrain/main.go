@@ -19,6 +19,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/collective"
@@ -28,6 +29,8 @@ import (
 	"repro/internal/hybrid"
 	"repro/internal/ingest"
 	"repro/internal/perfmodel"
+	"repro/internal/placement"
+	"repro/internal/telemetry"
 	"repro/internal/xrand"
 )
 
@@ -45,6 +48,16 @@ type feed struct {
 	gen  *data.Generator  // non-nil in synthetic mode (enables eval)
 	pipe *ingest.Pipeline // non-nil in file mode (enables meters)
 	done func()
+	once sync.Once
+}
+
+// close shuts the feed down exactly once. The runners call it before
+// exporting telemetry — Tracer.Snapshot needs the ingest stage
+// goroutines quiescent — and run's defer covers the error paths.
+func (f *feed) close() {
+	if f.done != nil {
+		f.once.Do(f.done)
+	}
 }
 
 func run(args []string, out io.Writer) error {
@@ -65,6 +78,9 @@ func run(args []string, out io.Writer) error {
 	readers := fs.Int("readers", 2, "parallel shard decoders in file mode")
 	dedup := fs.Bool("dedup", false, "RecD-style within-batch sparse dedup in file mode")
 	materialize := fs.Bool("materialize", false, "write the synthetic dataset to the -data dir first if it has no manifest")
+	traceFile := fs.String("telemetry.trace", "", "write a Chrome trace_event JSON of the run to this file")
+	httpAddr := fs.String("telemetry.http", "", "serve /metrics, /debug/vars and /debug/pprof on this address for the run's duration")
+	report := fs.Bool("telemetry.report", false, "print the per-phase attribution report and ASCII timeline after training")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,28 +98,109 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	fd, cfg, err := openFeed(out, cfg, *dataFlag, *batch, *readers, *dedup, *materialize, *seed)
+	tel, err := newTelemetry(out, *traceFile, *httpAddr, *report, *mode, *ranks, *dataFlag, *readers)
 	if err != nil {
 		return err
 	}
-	defer fd.done()
+
+	fd, cfg, err := openFeed(out, cfg, *dataFlag, *batch, *readers, *dedup, *materialize, *seed, tel)
+	if err != nil {
+		return err
+	}
+	defer fd.close()
 	fmt.Fprintf(out, "model: %d dense, %d sparse x %d rows, %s embeddings\n",
 		cfg.DenseFeatures, cfg.NumSparse(), cfg.Sparse[0].HashSize, core.HumanBytes(cfg.EmbeddingBytes()))
 
 	switch *mode {
 	case "single":
-		return runSingle(out, cfg, fd, *batch, *iters, *lr, *seed)
+		return runSingle(out, cfg, fd, *batch, *iters, *lr, *seed, tel)
 	case "hybrid":
-		return runHybrid(out, cfg, fd, *batch, *iters, *lr, *seed, *ranks, *platform)
+		return runHybrid(out, cfg, fd, *batch, *iters, *lr, *seed, *ranks, *platform, tel)
 	default:
 		return fmt.Errorf("dlrmtrain: unknown mode %q (single, hybrid)", *mode)
 	}
 }
 
+// telem bundles the optional observability surfaces of a run: one tracer
+// shared by the trainer (shards [0, feedShard)) and the ingest pipeline
+// (shards from feedShard), one registry absorbing every subsystem meter,
+// and the export destinations chosen on the command line. A nil telem
+// (no -telemetry.* flag set) keeps every hot path untraced.
+type telem struct {
+	tracer    *telemetry.Tracer
+	reg       *telemetry.Registry
+	feedShard int
+	traceFile string
+	report    bool
+}
+
+func newTelemetry(out io.Writer, traceFile, httpAddr string, report bool, mode string, ranks int, dataFlag string, readers int) (*telem, error) {
+	if traceFile == "" && httpAddr == "" && !report {
+		return nil, nil
+	}
+	trainShards := 1
+	if mode == "hybrid" {
+		trainShards = hybrid.Config{Ranks: ranks, Overlap: ranks > 1}.ShardCount()
+	}
+	feedShards := 0
+	if strings.HasPrefix(dataFlag, "file:") {
+		feedShards = ingest.Options{Readers: readers}.ShardCount()
+	}
+	t := &telem{
+		tracer:    telemetry.NewTracer(trainShards+feedShards, 1<<15),
+		reg:       telemetry.NewRegistry(),
+		feedShard: trainShards,
+		traceFile: traceFile,
+		report:    report,
+	}
+	if mode != "hybrid" {
+		t.tracer.NameShard(0, "trainer")
+	}
+	if httpAddr != "" {
+		srv, err := telemetry.Serve(httpAddr, t.reg)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(out, "telemetry: serving /metrics, /debug/vars, /debug/pprof on %s\n", srv.Addr)
+	}
+	return t, nil
+}
+
+// finish exports the collected trace: the attribution report and ASCII
+// timeline to out, and/or the Chrome trace_event JSON to -telemetry.trace.
+func (t *telem) finish(out io.Writer, predicted map[telemetry.Phase]float64) error {
+	if t == nil {
+		return nil
+	}
+	snap := t.tracer.Snapshot()
+	if t.report {
+		attr := telemetry.Attribute(snap)
+		fmt.Fprintf(out, "\nattribution (observed vs analytic perfmodel):\n%s", attr.Render(predicted))
+		fmt.Fprintf(out, "\ntimeline:\n%s", snap.Timeline(72))
+		fmt.Fprintf(out, "\nregistry snapshot:\n%s", t.reg.Snapshot().Render())
+	}
+	if t.traceFile != "" {
+		f, err := os.Create(t.traceFile)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.WriteChromeTrace(f, snap); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "telemetry: wrote Chrome trace (%d spans, %d dropped) to %s\n",
+			len(snap.Spans), snap.Dropped, t.traceFile)
+	}
+	return nil
+}
+
 // openFeed resolves -data. In file mode the dataset's feature space
 // (dense width, hash sizes) replaces the flag-built one so the model
 // matches what is on disk.
-func openFeed(out io.Writer, cfg core.Config, dataFlag string, batch, readers int, dedup, materialize bool, seed int64) (*feed, core.Config, error) {
+func openFeed(out io.Writer, cfg core.Config, dataFlag string, batch, readers int, dedup, materialize bool, seed int64, tel *telem) (*feed, core.Config, error) {
 	switch {
 	case dataFlag == "synthetic":
 		gen := data.NewGenerator(cfg, seed+1, data.DefaultOptions())
@@ -137,9 +234,13 @@ func openFeed(out io.Writer, cfg core.Config, dataFlag string, batch, readers in
 			ds.Close()
 			return nil, cfg, err
 		}
-		p, err := ingest.Open(ds, fileCfg, ingest.Options{
+		iOpt := ingest.Options{
 			BatchSize: batch, Readers: readers, Dedup: dedup, Seed: seed + 2,
-		})
+		}
+		if tel != nil {
+			iOpt.Registry, iOpt.Trace, iOpt.TraceShard = tel.reg, tel.tracer, tel.feedShard
+		}
+		p, err := ingest.Open(ds, fileCfg, iOpt)
 		if err != nil {
 			ds.Close()
 			return nil, cfg, err
@@ -161,9 +262,12 @@ func progressIters(iters int) int {
 	return 100
 }
 
-func runSingle(out io.Writer, cfg core.Config, fd *feed, batch, iters int, lr float64, seed int64) error {
+func runSingle(out io.Writer, cfg core.Config, fd *feed, batch, iters int, lr float64, seed int64, tel *telem) error {
 	m := core.NewModel(cfg, xrand.New(seed))
 	tr := core.NewTrainer(m, core.TrainerConfig{Optimizer: core.OptAdagrad, LR: lr})
+	if tel != nil {
+		tr.SetTrace(tel.tracer, 0)
+	}
 
 	start := time.Now()
 	trained := 0
@@ -186,18 +290,23 @@ func runSingle(out io.Writer, cfg core.Config, fd *feed, batch, iters int, lr fl
 	}
 	reportThroughput(out, trained, batch, time.Since(start))
 	reportIngest(out, fd)
-	return nil
+	fd.close() // quiesce ingest goroutines before snapshotting the trace
+	return tel.finish(out, nil)
 }
 
-func runHybrid(out io.Writer, cfg core.Config, fd *feed, batch, iters int, lr float64, seed int64, ranks int, platform string) error {
+func runHybrid(out io.Writer, cfg core.Config, fd *feed, batch, iters int, lr float64, seed int64, ranks int, platform string, tel *telem) error {
 	p, err := hw.ByName(platform)
 	if err != nil {
 		return err
 	}
 	link := collective.LinkFor(p)
-	ht, err := hybrid.New(cfg, hybrid.Config{
+	hc := hybrid.Config{
 		Ranks: ranks, LR: lr, Seed: seed, Overlap: ranks > 1, Link: link,
-	})
+	}
+	if tel != nil {
+		hc.Registry, hc.Trace, hc.TraceShard = tel.reg, tel.tracer, 0
+	}
+	ht, err := hybrid.New(cfg, hc)
 	if err != nil {
 		return err
 	}
@@ -245,7 +354,24 @@ func runHybrid(out io.Writer, cfg core.Config, fd *feed, batch, iters int, lr fl
 			core.HumanBytes(st.AllReduce.Bytes/int64(trained)),
 			core.HumanBytes(int64(perfmodel.HybridAllReduceBytes(cfg, ranks))))
 	}
-	return nil
+	fd.close() // quiesce ingest goroutines before snapshotting the trace
+	return tel.finish(out, predictedPhases(cfg, p, batch))
+}
+
+// predictedPhases estimates the analytic per-phase step time for the
+// attribution report's predicted column. Attribution is still useful
+// without it, so estimation failures (e.g. the model does not fit the
+// platform) degrade to an observed-only report.
+func predictedPhases(cfg core.Config, p hw.Platform, batch int) map[telemetry.Phase]float64 {
+	plan, err := placement.Fit(cfg, p, placement.GPUMemory, 0)
+	if err != nil {
+		return nil
+	}
+	bd, err := perfmodel.Estimate(perfmodel.Scenario{Cfg: cfg, Platform: p, Batch: batch, Plan: plan})
+	if err != nil {
+		return nil
+	}
+	return perfmodel.PredictedPhases(bd)
 }
 
 func reportThroughput(out io.Writer, iters, batch int, elapsed time.Duration) {

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 func TestRunTrainsSmallModel(t *testing.T) {
@@ -80,6 +85,72 @@ func TestRunFileModeHybrid(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestTelemetryTraceGolden validates the -telemetry.trace export against
+// the Chrome trace_event golden schema: a traceEvents array whose "M"
+// metadata events name every shard and whose "X" complete events carry
+// the full (name, cat, ts, dur, pid, tid) key set with names drawn from
+// the telemetry phase taxonomy.
+func TestTelemetryTraceGolden(t *testing.T) {
+	traceFile := filepath.Join(t.TempDir(), "trace.json")
+	var out strings.Builder
+	err := run([]string{"-mode", "hybrid", "-ranks", "2", "-dense", "8", "-sparse", "4",
+		"-hash", "200", "-dim", "8", "-batch", "32", "-iters", "20",
+		"-telemetry.trace", traceFile, "-telemetry.report"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"attribution", "phase coverage=", "timeline:",
+		"registry snapshot:", "hybrid/steps", "telemetry: wrote Chrome trace"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if trace.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q, want ns", trace.DisplayTimeUnit)
+	}
+	phases := map[string]bool{}
+	for p := telemetry.Phase(0); p < telemetry.NumPhases; p++ {
+		phases[p.String()] = true
+	}
+	var meta, complete int
+	for _, ev := range trace.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			meta++
+			if ev["name"] != "thread_name" {
+				t.Errorf("metadata event name %v, want thread_name", ev["name"])
+			}
+		case "X":
+			complete++
+			for _, key := range []string{"name", "cat", "ts", "dur", "pid", "tid"} {
+				if _, ok := ev[key]; !ok {
+					t.Fatalf("complete event missing %q: %v", key, ev)
+				}
+			}
+			if !phases[ev["name"].(string)] {
+				t.Errorf("event name %v is not a telemetry phase", ev["name"])
+			}
+		default:
+			t.Errorf("unexpected event phase type %v", ev["ph"])
+		}
+	}
+	if meta < 2 || complete == 0 {
+		t.Errorf("trace has %d metadata and %d complete events, want >=2 and >0", meta, complete)
 	}
 }
 

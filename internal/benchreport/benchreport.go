@@ -63,6 +63,9 @@ type Options struct {
 	MinTime time.Duration
 	// Filter, when non-empty, selects only specs whose name contains it.
 	Filter string
+	// AfterEach, when non-nil, is called with each spec's name as its
+	// measurement finishes (progress metering for long runs).
+	AfterEach func(name string)
 }
 
 // speedupPairs names the ablation ratios derived from paired specs:
@@ -71,6 +74,11 @@ var speedupPairs = []struct{ key, fast, slow string }{
 	{"gemm_tiled_vs_naive", "gemm/tiled_256", "gemm/naive_256"},
 	{"dense_layer_fused_vs_unfused", "dense_layer/fused", "dense_layer/unfused"},
 	{"next_batch_into_vs_fresh", "data/next_batch_into", "data/next_batch"},
+	// Inverted pairs (ratio ~1.0): the traced step over the untraced
+	// step, i.e. the span tracer's whole-step overhead. Acceptance: the
+	// ratio stays below 1.03 (tracing costs < 3%).
+	{"telemetry_overhead_single", "train_step", "train_step_traced"},
+	{"telemetry_overhead_hybrid", "hybrid_step", "hybrid_step_traced"},
 }
 
 // Run measures every spec and assembles the report.
@@ -88,14 +96,46 @@ func Run(specs []Spec, opts Options) Report {
 		NumCPU:        runtime.NumCPU(),
 		Speedups:      map[string]float64{},
 	}
-	byName := map[string]Result{}
+	type pending struct {
+		spec Spec
+		res  Result
+		best time.Duration
+	}
+	var runs []pending
 	for _, s := range specs {
 		if opts.Filter != "" && !strings.Contains(s.Name, opts.Filter) {
 			continue
 		}
-		r := measure(s, opts.MinTime)
+		res, elapsed := calibrate(s, opts.MinTime)
+		runs = append(runs, pending{spec: s, res: res, best: elapsed})
+		if opts.AfterEach != nil {
+			opts.AfterEach(s.Name)
+		}
+	}
+	// The remaining timed windows run round-robin across all specs, so
+	// slow environmental drift (thermal throttling, noisy neighbors on a
+	// shared VM) lands on every spec roughly equally instead of biasing
+	// whichever spec happened to run later. The speedup pairs — ratios of
+	// two specs' ns/op — depend on this: measured back-to-back, a few
+	// percent of drift reads as a few percent of fake (anti-)speedup.
+	for w := 1; w < measureWindows; w++ {
+		for i := range runs {
+			start := time.Now()
+			runs[i].spec.Fn(runs[i].res.Iterations)
+			if e := time.Since(start); e < runs[i].best {
+				runs[i].best = e
+			}
+		}
+	}
+	byName := map[string]Result{}
+	for i := range runs {
+		r := runs[i].res
+		r.NsPerOp = float64(runs[i].best.Nanoseconds()) / float64(r.Iterations)
+		if runs[i].spec.ExamplesPerOp > 0 && runs[i].best > 0 {
+			r.ExamplesPerSec = float64(runs[i].spec.ExamplesPerOp) * float64(r.Iterations) / runs[i].best.Seconds()
+		}
 		rep.Benchmarks = append(rep.Benchmarks, r)
-		byName[s.Name] = r
+		byName[r.Name] = r
 	}
 	for _, p := range speedupPairs {
 		fast, okF := byName[p.fast]
@@ -168,12 +208,23 @@ func (r Report) BaselineNsPerOp() map[string]float64 {
 	return m
 }
 
-// measure times one spec: warm up once, then grow the iteration count
-// until the measured window crosses minTime (the testing-package
-// calibration strategy, reimplemented so MinTime is controllable).
-// Allocation counters come from runtime.MemStats deltas around the timed
-// window.
-func measure(s Spec, minTime time.Duration) Result {
+// measureWindows is how many independent timed windows each spec gets
+// (the calibration window plus measureWindows-1 round-robin re-runs in
+// Run); the minimum ns/op across them is reported. A single window on a
+// loaded (or single-CPU) machine folds scheduler preemption into the
+// number — pairs like the telemetry overhead ratios then swing far more
+// than the effect being measured. The per-window minimum is the classic
+// noise filter: interference only ever adds time.
+const measureWindows = 3
+
+// calibrate times one spec's first window: warm up once, then grow the
+// iteration count until the measured window crosses minTime (the
+// testing-package calibration strategy, reimplemented so MinTime is
+// controllable). It returns the Result for that window plus its elapsed
+// time; Run re-times the same iteration count more times and keeps the
+// fastest window. Allocation counters come from runtime.MemStats deltas
+// around the timed window.
+func calibrate(s Spec, minTime time.Duration) (Result, time.Duration) {
 	s.Fn(1) // warmup: faults pages, sizes lazy buffers, starts pools
 	n := 1
 	var ms0, ms1 runtime.MemStats
@@ -194,7 +245,7 @@ func measure(s Spec, minTime time.Duration) Result {
 			if s.ExamplesPerOp > 0 && elapsed > 0 {
 				res.ExamplesPerSec = float64(s.ExamplesPerOp) * float64(n) / elapsed.Seconds()
 			}
-			return res
+			return res, elapsed
 		}
 		// Aim 20% past the floor; bound growth like the testing package.
 		next := n

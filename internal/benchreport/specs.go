@@ -11,6 +11,7 @@ import (
 	"repro/internal/hybrid"
 	"repro/internal/ingest"
 	"repro/internal/nn"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/xrand"
 )
@@ -88,6 +89,28 @@ func DefaultSpecs(filter string) []Spec {
 		})
 	}
 
+	// The same training step with full span tracing on: every phase of
+	// every step lands in a slab-backed ring. The telemetry_overhead
+	// speedup (traced ns / untraced ns) is the tracer's cost — the
+	// acceptance bound is < 3%.
+	if want("train_step_traced") {
+		cfg := BenchStepConfig()
+		m := core.NewModel(cfg, xrand.New(1))
+		tr := core.NewTrainer(m, core.TrainerConfig{LR: 0.05})
+		tr.SetTrace(telemetry.NewTracer(1, 4096), 0)
+		gen := data.NewGenerator(cfg, 2, data.DefaultOptions())
+		batch := gen.NextBatch(benchBatch)
+		specs = append(specs, Spec{
+			Name:          "train_step_traced",
+			ExamplesPerOp: benchBatch,
+			Fn: func(iters int) {
+				for i := 0; i < iters; i++ {
+					tr.Step(batch)
+				}
+			},
+		})
+	}
+
 	// End-to-end synchronous hybrid-parallel step on 2 in-process ranks
 	// (BenchmarkHybridStep in the repository root measures the same
 	// setup): model-parallel lookups, pooled all-to-all, data-parallel
@@ -107,6 +130,33 @@ func DefaultSpecs(filter string) []Spec {
 				if ht == nil {
 					var err error
 					if ht, err = hybrid.New(cfg, hybrid.Config{Ranks: 2, LR: 0.05, Seed: 1}); err != nil {
+						panic(err)
+					}
+				}
+				for i := 0; i < iters; i++ {
+					ht.Step(batch)
+				}
+			},
+		})
+	}
+
+	// Hybrid step with tracing on across both rank shards plus the
+	// overlapped all-reduce shards — the multi-writer overhead companion
+	// to train_step_traced.
+	if want("hybrid_step_traced") {
+		cfg := BenchStepConfig()
+		gen := data.NewGenerator(cfg, 2, data.DefaultOptions())
+		batch := gen.NextBatch(benchBatch)
+		var ht *hybrid.Trainer
+		specs = append(specs, Spec{
+			Name:          "hybrid_step_traced",
+			ExamplesPerOp: benchBatch,
+			Fn: func(iters int) {
+				if ht == nil {
+					hc := hybrid.Config{Ranks: 2, LR: 0.05, Seed: 1}
+					hc.Trace = telemetry.NewTracer(hc.ShardCount(), 4096)
+					var err error
+					if ht, err = hybrid.New(cfg, hc); err != nil {
 						panic(err)
 					}
 				}

@@ -19,7 +19,8 @@ package collective
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // Op identifies one collective operation kind in the meters.
@@ -61,20 +62,32 @@ type OpStats struct {
 	ModelSec float64
 }
 
-// opCounter is the lock-free accumulator behind OpStats.
-type opCounter struct {
-	calls   atomic.Int64
-	bytes   atomic.Int64
-	modelNs atomic.Int64
+// opMeter is the lock-free accumulator behind OpStats. Since PR 6 the
+// instruments live in a telemetry.Registry ("collective/<op>/calls",
+// ".../bytes", ".../model_ns"); the pointers are resolved once at world
+// construction so the record path stays a few atomic adds.
+type opMeter struct {
+	calls   *telemetry.Counter
+	bytes   *telemetry.Counter
+	modelNs *telemetry.Counter
 }
 
-func (c *opCounter) add(bytes int64, modelSec float64) {
-	c.calls.Add(1)
+func newOpMeter(reg *telemetry.Registry, op Op) opMeter {
+	prefix := "collective/" + op.String()
+	return opMeter{
+		calls:   reg.Counter(prefix + "/calls"),
+		bytes:   reg.Counter(prefix + "/bytes"),
+		modelNs: reg.Counter(prefix + "/model_ns"),
+	}
+}
+
+func (c *opMeter) add(bytes int64, modelSec float64) {
+	c.calls.Inc()
 	c.bytes.Add(bytes)
 	c.modelNs.Add(int64(modelSec * 1e9))
 }
 
-func (c *opCounter) load() OpStats {
+func (c *opMeter) load() OpStats {
 	return OpStats{
 		Calls:    c.calls.Load(),
 		Bytes:    c.bytes.Load(),
@@ -96,15 +109,28 @@ type Totals struct {
 type World struct {
 	n     int
 	link  Link
-	stats [numOps]opCounter
+	reg   *telemetry.Registry
+	stats [numOps]opMeter
 }
 
-// NewWorld builds a communicator over n ranks.
+// NewWorld builds a communicator over n ranks with a private telemetry
+// registry (use NewWorldWith to share one).
 func NewWorld(n int, link Link) *World {
+	return NewWorldWith(n, link, telemetry.NewRegistry())
+}
+
+// NewWorldWith builds a communicator whose meters live in the given
+// registry, so collective traffic shows up in the process-wide snapshot
+// next to ingest and trainer counters. A nil registry meters nothing.
+func NewWorldWith(n int, link Link, reg *telemetry.Registry) *World {
 	if n <= 0 {
 		panic(fmt.Sprintf("collective: world size %d", n))
 	}
-	return &World{n: n, link: link}
+	w := &World{n: n, link: link, reg: reg}
+	for op := Op(0); op < numOps; op++ {
+		w.stats[op] = newOpMeter(reg, op)
+	}
+	return w
 }
 
 // Size returns the number of ranks.
@@ -112,6 +138,10 @@ func (w *World) Size() int { return w.n }
 
 // Link returns the communicator's wire model.
 func (w *World) Link() Link { return w.link }
+
+// Registry returns the registry holding this world's meters (nil when
+// the world was built meterless).
+func (w *World) Registry() *telemetry.Registry { return w.reg }
 
 // Snapshot returns the cumulative meters without allocating.
 func (w *World) Snapshot() Totals {

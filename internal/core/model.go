@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/embedding"
 	"repro/internal/nn"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/xrand"
 )
@@ -102,6 +103,13 @@ type Model struct {
 	vecs, dvecs []([]float32)
 	sparseGrads []*embedding.SparseGrad
 	embScratch  *embedding.Scratch
+
+	// Trace, when non-nil, records phase spans (embedding lookup, dense
+	// forward/backward, sparse scatter) onto TraceShard. The model must
+	// be driven by a single goroutine per shard (it already is: workers
+	// use ShareWeights clones).
+	Trace      *telemetry.Tracer
+	TraceShard int
 }
 
 // NewModel allocates a model with freshly initialized parameters. It
@@ -158,6 +166,7 @@ func (m *Model) Forward(b *MiniBatch) []float32 {
 			m.pooled[i] = tensor.New(B, d)
 		}
 	}
+	tok := m.Trace.Begin(telemetry.PhaseEmbLookup)
 	for i, tab := range m.Tables {
 		if dd := b.DedupFor(i); dd != nil {
 			tab.BagForwardDedup(b.Bags[i], dd, m.pooled[i], m.embScratch)
@@ -165,6 +174,7 @@ func (m *Model) Forward(b *MiniBatch) []float32 {
 			tab.BagForwardInto(b.Bags[i], m.pooled[i], m.embScratch)
 		}
 	}
+	m.Trace.End(m.TraceShard, tok)
 	logits := m.ForwardPooled(b.Dense, m.pooled)
 	m.batch = b
 	return logits
@@ -188,6 +198,7 @@ func (m *Model) ForwardPooled(dense *tensor.Matrix, pooled []*tensor.Matrix) []f
 				i, p.Rows, p.Cols, B, m.Cfg.EmbeddingDim))
 		}
 	}
+	tok := m.Trace.Begin(telemetry.PhaseDenseFwd)
 	m.batch = nil // sparse scatter unavailable until the local-lookup path runs
 	m.pooledIn = pooled
 	m.z = m.Bottom.Forward(dense)
@@ -206,6 +217,7 @@ func (m *Model) ForwardPooled(dense *tensor.Matrix, pooled []*tensor.Matrix) []f
 	for i := 0; i < B; i++ {
 		logits[i] = out.At(i, 0)
 	}
+	m.Trace.End(m.TraceShard, tok)
 	return logits
 }
 
@@ -275,6 +287,7 @@ func (m *Model) Backward(dLogits []float32) []*embedding.SparseGrad {
 			m.sparseGrads[i] = embedding.NewSparseGrad(m.Cfg.EmbeddingDim)
 		}
 	}
+	tok := m.Trace.Begin(telemetry.PhaseSparseScatter)
 	for i, tab := range m.Tables {
 		m.sparseGrads[i].Reset()
 		if dd := b.DedupFor(i); dd != nil {
@@ -283,6 +296,7 @@ func (m *Model) Backward(dLogits []float32) []*embedding.SparseGrad {
 			tab.BagBackward(b.Bags[i], dPooled[i], m.sparseGrads[i])
 		}
 	}
+	m.Trace.End(m.TraceShard, tok)
 	return m.sparseGrads
 }
 
@@ -297,6 +311,7 @@ func (m *Model) BackwardPooled(dLogits []float32) []*tensor.Matrix {
 	if m.pooledIn == nil {
 		panic("core: BackwardPooled before ForwardPooled")
 	}
+	tok := m.Trace.Begin(telemetry.PhaseDenseBwd)
 	B := m.z.Rows
 	d := m.Cfg.EmbeddingDim
 	s := m.Cfg.NumSparse()
@@ -356,6 +371,7 @@ func (m *Model) BackwardPooled(dLogits []float32) []*tensor.Matrix {
 	}
 
 	m.Bottom.Backward(m.dZ)
+	m.Trace.End(m.TraceShard, tok)
 	return m.dPooled
 }
 

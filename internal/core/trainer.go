@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/nn"
 	"repro/internal/optim"
+	"repro/internal/telemetry"
 )
 
 // OptimizerKind selects the dense-side optimizer.
@@ -40,6 +41,9 @@ type Trainer struct {
 	sched   optim.WarmupSchedule
 	iter    int
 	gradBuf []float32 // reusable logit-gradient buffer
+
+	trace      *telemetry.Tracer
+	traceShard int
 }
 
 // NewTrainer builds a trainer for the model.
@@ -74,27 +78,45 @@ func NewTrainer(m *Model, cfg TrainerConfig) *Trainer {
 // Iter returns the number of steps taken.
 func (t *Trainer) Iter() int { return t.iter }
 
+// SetTrace points the trainer (and its model) at a tracer shard. Step
+// then records a PhaseStep envelope plus the interior phase spans —
+// lookup, dense fwd/bwd, loss, sparse scatter, optimizer — all from the
+// trainer goroutine, which must be the shard's only writer. A nil tracer
+// turns tracing off.
+func (t *Trainer) SetTrace(tr *telemetry.Tracer, shard int) {
+	t.trace, t.traceShard = tr, shard
+	t.Model.Trace, t.Model.TraceShard = tr, shard
+}
+
 // Step runs one forward/backward/update over the batch and returns the
 // batch's training loss. At steady state (fixed batch size) it performs
 // zero heap allocations; every scratch buffer is owned by the trainer or
 // the model and reused across steps.
 func (t *Trainer) Step(b *MiniBatch) float64 {
-	logits := t.Model.Forward(b)
+	stepTok := t.trace.Begin(telemetry.PhaseStep)
+	logits := t.Model.Forward(b) // records emb_lookup + dense_fwd spans
 	if cap(t.gradBuf) < len(logits) {
 		t.gradBuf = make([]float32, len(logits))
 	}
 	grad := t.gradBuf[:len(logits)]
+	tok := t.trace.Begin(telemetry.PhaseLoss)
 	loss := nn.BCEWithLogits(logits, b.Labels, grad)
 
+	// ZeroGrad is gradient-buffer preparation: charge it to the backward
+	// pass (Backward itself records dense_bwd + sparse_scatter).
+	tok = t.trace.Next(t.traceShard, tok, telemetry.PhaseDenseBwd)
 	t.Model.ZeroGrad()
+	t.trace.End(t.traceShard, tok)
 	sparseGrads := t.Model.Backward(grad)
 
 	lr := t.sched.At(t.iter)
 	scale := float32(lr / t.cfg.LR)
+	tok = t.trace.Begin(telemetry.PhaseOptimizer)
 	switch t.cfg.Optimizer {
 	case OptSGD:
 		t.sgd.LR = float32(lr)
 		t.sgd.Step()
+		tok = t.trace.Next(t.traceShard, tok, telemetry.PhaseSparseScatter)
 		for i, s := range t.sparseS {
 			s.LR = float32(t.cfg.SparseLR) * scale
 			s.Apply(sparseGrads[i])
@@ -102,12 +124,15 @@ func (t *Trainer) Step(b *MiniBatch) float64 {
 	case OptAdagrad:
 		t.adagrad.LR = float32(lr)
 		t.adagrad.Step()
+		tok = t.trace.Next(t.traceShard, tok, telemetry.PhaseSparseScatter)
 		for i, s := range t.sparseA {
 			s.LR = float32(t.cfg.SparseLR) * scale
 			s.Apply(sparseGrads[i])
 		}
 	}
+	t.trace.End(t.traceShard, tok)
 	t.iter++
+	t.trace.End(t.traceShard, stepTok)
 	return loss
 }
 

@@ -7,8 +7,8 @@ import (
 
 func TestIDsStable(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 19 {
-		t.Fatalf("%d experiments registered, want 19", len(ids))
+	if len(ids) != 20 {
+		t.Fatalf("%d experiments registered, want 20", len(ids))
 	}
 	for _, id := range ids {
 		if Title(id) == "" {
@@ -63,6 +63,25 @@ func TestIngestScalingShowsCrossover(t *testing.T) {
 	}
 	if strings.Contains(res.Output, "WARNING") {
 		t.Errorf("throttled single reader failed to starve the trainer:\n%s", res.Output)
+	}
+}
+
+// TestTelemetryAttributionAcceptance pins the telemetry_attribution
+// acceptance shape: the per-rank phase spans tile the step wall within
+// 1% (no coverage WARNING) and the Chrome trace export round-trips.
+func TestTelemetryAttributionAcceptance(t *testing.T) {
+	res, err := Run("telemetry_attribution", Options{Quick: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"phase coverage=", "chrome trace:", "observed ms/step",
+		"predicted ms/step", "background / overlapped", "registry: hybrid/steps="} {
+		if !strings.Contains(res.Output, want) {
+			t.Errorf("telemetry_attribution output missing %q:\n%s", want, res.Output)
+		}
+	}
+	if strings.Contains(res.Output, "WARNING") {
+		t.Errorf("attribution acceptance failed:\n%s", res.Output)
 	}
 }
 

@@ -40,6 +40,7 @@ import (
 	"repro/internal/embedding"
 	"repro/internal/nn"
 	"repro/internal/optim"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/xrand"
 )
@@ -68,6 +69,29 @@ type Config struct {
 	// Seed initializes the model parameters; a single-process
 	// core.NewModel with the same seed starts from identical weights.
 	Seed int64
+	// Registry receives the step counters ("hybrid/…") and the
+	// collective meters ("collective/…"). Nil gets a private registry.
+	Registry *telemetry.Registry
+	// Trace, when non-nil, records per-rank step spans. Rank id writes
+	// onto shard TraceShard+id; with Overlap on, the background
+	// all-reduce goroutine of rank id writes its full (possibly hidden)
+	// duration onto shard TraceShard+Ranks+id, so the tracer must have
+	// 2·Ranks shards from TraceShard (Ranks otherwise).
+	Trace      *telemetry.Tracer
+	TraceShard int
+}
+
+// ShardCount returns how many tracer shards a trainer with this config
+// records onto (after defaults).
+func (c Config) ShardCount() int {
+	n := c.Ranks
+	if n == 0 {
+		n = 2
+	}
+	if c.Overlap {
+		return 2 * n
+	}
+	return n
 }
 
 func (c *Config) defaults() {
@@ -131,6 +155,13 @@ type Trainer struct {
 	bounds []int // rank r owns examples [bounds[r], bounds[r+1])
 	wg     sync.WaitGroup
 	closed bool
+
+	// registry-backed step counters (critical-path ns, accumulated per
+	// Step) — the StepBreakdown return stays the per-step view, these
+	// are the cumulative one.
+	reg                       *telemetry.Registry
+	stepsC, stepNs, computeNs *telemetry.Counter
+	a2aNs, arNs, exposedNs    *telemetry.Counter
 }
 
 // New builds the trainer: a reference model seeded exactly like the
@@ -149,14 +180,40 @@ func New(cfg core.Config, hc Config) (*Trainer, error) {
 		return nil, fmt.Errorf("hybrid: LR must be positive")
 	}
 
+	reg := hc.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	ref := core.NewModel(cfg, xrand.New(hc.Seed))
 	t := &Trainer{
 		Cfg:    cfg,
 		HC:     hc,
-		world:  collective.NewWorld(hc.Ranks, hc.Link),
+		world:  collective.NewWorldWith(hc.Ranks, hc.Link, reg),
 		tables: ref.Tables,
 		sched:  optim.WarmupSchedule{Base: hc.LR, WarmupIters: hc.WarmupIters},
 		bounds: make([]int, hc.Ranks+1),
+		reg:    reg,
+	}
+	t.stepsC = reg.Counter("hybrid/steps")
+	t.stepNs = reg.Counter("hybrid/step_ns")
+	t.computeNs = reg.Counter("hybrid/compute_ns")
+	t.a2aNs = reg.Counter("hybrid/a2a_ns")
+	t.arNs = reg.Counter("hybrid/ar_ns")
+	t.exposedNs = reg.Counter("hybrid/exposed_ns")
+	reg.RegisterFunc("embedding/lookups", func() int64 {
+		var n int64
+		for _, tab := range t.tables {
+			n += int64(tab.Lookups())
+		}
+		return n
+	})
+	if tr := hc.Trace; tr != nil {
+		for id := 0; id < hc.Ranks; id++ {
+			tr.NameShard(hc.TraceShard+id, fmt.Sprintf("rank %d", id))
+			if hc.Overlap {
+				tr.NameShard(hc.TraceShard+hc.Ranks+id, fmt.Sprintf("rank %d allreduce", id))
+			}
+		}
 	}
 
 	stats := make([]embedding.TableStat, cfg.NumSparse())
@@ -196,6 +253,8 @@ func New(cfg core.Config, hc Config) (*Trainer, error) {
 			work:         make(chan float64, 1),
 			arDone:       make(chan struct{}, 1),
 			curB:         -1,
+			shard:        hc.TraceShard + id,
+			bgShard:      hc.TraceShard + hc.Ranks + id,
 		}
 		r.params = r.model.DenseParams()
 		var flatLen int
@@ -238,6 +297,10 @@ func (t *Trainer) Owner(ti int) int { return t.owner[ti] }
 // CollectiveStats returns the cumulative collective meters (bytes, calls,
 // link-modeled seconds) summed across ranks.
 func (t *Trainer) CollectiveStats() collective.Totals { return t.world.Snapshot() }
+
+// Registry returns the registry holding the trainer's "hybrid/…" step
+// counters and the shared "collective/…" meters.
+func (t *Trainer) Registry() *telemetry.Registry { return t.reg }
 
 // Step runs one synchronous iteration over the global batch and returns
 // the batch's training loss plus the per-phase breakdown. The batch must
@@ -282,6 +345,13 @@ func (t *Trainer) Step(b *core.MiniBatch) (float64, StepBreakdown) {
 	bd.AllReduceBytes = after.AllReduce.Bytes - before.AllReduce.Bytes
 	bd.ModelAllToAllSec = after.AllToAll.ModelSec - before.AllToAll.ModelSec
 	bd.ModelAllReduceSec = after.AllReduce.ModelSec - before.AllReduce.ModelSec
+
+	t.stepsC.Inc()
+	t.stepNs.Add(int64(bd.Step * 1e9))
+	t.computeNs.Add(int64(bd.Compute * 1e9))
+	t.a2aNs.Add(int64(bd.AllToAll * 1e9))
+	t.arNs.Add(int64(bd.AllReduce * 1e9))
+	t.exposedNs.Add(int64(bd.Exposed * 1e9))
 	return loss, bd
 }
 
@@ -383,6 +453,10 @@ type rank struct {
 	work   chan float64 // learning rate for the step; closed by Close
 	arDone chan struct{}
 
+	// tracer shards: the rank goroutine writes step spans onto shard;
+	// the overlapped all-reduce goroutine writes onto bgShard.
+	shard, bgShard int
+
 	// per-step outputs
 	loss                float64
 	tCompute, tA2A, tAR time.Duration
@@ -428,7 +502,10 @@ func (r *rank) ensure(B int) {
 	r.gradBuf = make([]float32, bs)
 }
 
-// step runs this rank's share of one synchronous iteration.
+// step runs this rank's share of one synchronous iteration. All segment
+// timing reads the telemetry clock — one monotonic base shared with the
+// ingest meters and every span — and the boundary marks double as span
+// edges, so the recorded phases tile the step with no gaps.
 func (r *rank) step(lr float64) {
 	t := r.t
 	b := t.batch
@@ -437,9 +514,10 @@ func (r *rank) step(lr float64) {
 	B := b.Batch()
 	lo, hi := t.bounds[r.id], t.bounds[r.id+1]
 	bs := hi - lo
+	trace := t.HC.Trace
 
-	start := time.Now()
-	var a2a, ar, arWait time.Duration
+	start := telemetry.Now()
+	var a2a, ar, arWait int64
 	r.ensure(B)
 
 	// 1. Model-parallel lookups: pool the owned tables over the whole
@@ -455,6 +533,7 @@ func (r *rank) step(lr float64) {
 
 	// 2. Pack pooled rows per destination: rank j receives its examples'
 	// rows for every table this rank owns (tables in ascending order).
+	// The pack is lookup-output marshaling, charged to the lookup span.
 	for j := 0; j < n; j++ {
 		off := 0
 		for _, ti := range r.owned {
@@ -465,9 +544,12 @@ func (r *rank) step(lr float64) {
 	}
 
 	// 3. Forward all-to-all of pooled embedding rows.
-	ts := time.Now()
+	ts := telemetry.Now()
+	trace.Emit(r.shard, telemetry.PhaseEmbLookup, start, ts)
 	r.main.AllToAllV(r.id, r.sendF, r.recvF)
-	a2a += time.Since(ts)
+	te := telemetry.Now()
+	a2a += te - ts
+	trace.Emit(r.shard, telemetry.PhaseAllToAll, ts, te)
 
 	// 4. Unpack: pooledLocal[ti] gets this rank's bs×d slice of table ti.
 	for o := 0; o < n; o++ {
@@ -484,8 +566,12 @@ func (r *rank) step(lr float64) {
 	r.denseView.Rows, r.denseView.Cols = bs, b.Dense.Cols
 	r.denseView.Data = b.Dense.Data[lo*b.Dense.Cols : hi*b.Dense.Cols]
 	logits := r.model.ForwardPooled(&r.denseView, r.pooledLocal)
+	tf := telemetry.Now()
+	trace.Emit(r.shard, telemetry.PhaseDenseFwd, te, tf)
 	grad := r.gradBuf[:bs]
 	r.loss = nn.BCEWithLogitsNorm(logits, b.Labels[lo:hi], grad, 1.0/float64(B))
+	tl := telemetry.Now()
+	trace.Emit(r.shard, telemetry.PhaseLoss, tf, tl)
 
 	r.model.ZeroGrad()
 	dPooled := r.model.BackwardPooled(grad)
@@ -504,34 +590,53 @@ func (r *rank) step(lr float64) {
 		copy(r.flat[off:], p.Grad)
 		off += len(p.Grad)
 	}
+	tb := telemetry.Now()
+	trace.Emit(r.shard, telemetry.PhaseDenseBwd, tl, tb)
 
 	// 7. Synchronize. With Overlap the bucketed all-reduce proceeds on a
 	// second goroutine while the sparse gradients travel and scatter —
-	// identical math, less exposed communication.
+	// identical math, less exposed communication. The rank shard records
+	// only the *exposed* wait; the background shard gets the full
+	// all-reduce duration (the hidden part of the paper's overlap win).
+	var tOptStart int64
 	if t.HC.Overlap && n > 1 {
 		go func() {
-			ts := time.Now()
+			t0 := telemetry.Now()
 			r.allReduceBuckets()
-			r.tARBg = time.Since(ts)
+			t1 := telemetry.Now()
+			r.tARBg = time.Duration(t1 - t0)
+			trace.Emit(r.bgShard, telemetry.PhaseAllReduce, t0, t1)
 			r.arDone <- struct{}{}
 		}()
-		ts = time.Now()
+		ts = telemetry.Now()
 		r.side.AllToAllV(r.id, r.sendB, r.recvB)
-		a2a += time.Since(ts)
+		te = telemetry.Now()
+		a2a += te - ts
+		trace.Emit(r.shard, telemetry.PhaseAllToAll, ts, te)
 		r.applySparse(lr)
-		ts = time.Now()
+		ts = telemetry.Now()
+		trace.Emit(r.shard, telemetry.PhaseSparseScatter, te, ts)
 		<-r.arDone
-		arWait = time.Since(ts)
-		ar = r.tARBg
+		te = telemetry.Now()
+		arWait = te - ts
+		trace.Emit(r.shard, telemetry.PhaseAllReduce, ts, te)
+		ar = int64(r.tARBg)
+		tOptStart = te
 	} else {
-		ts = time.Now()
+		ts = telemetry.Now()
 		r.allReduceBuckets()
-		ar = time.Since(ts)
+		te = telemetry.Now()
+		ar = te - ts
 		arWait = ar
-		ts = time.Now()
+		trace.Emit(r.shard, telemetry.PhaseAllReduce, ts, te)
+		ts = telemetry.Now()
 		r.side.AllToAllV(r.id, r.sendB, r.recvB)
-		a2a += time.Since(ts)
+		te = telemetry.Now()
+		a2a += te - ts
+		trace.Emit(r.shard, telemetry.PhaseAllToAll, ts, te)
 		r.applySparse(lr)
+		tOptStart = telemetry.Now()
+		trace.Emit(r.shard, telemetry.PhaseSparseScatter, te, tOptStart)
 	}
 
 	// 8. Dense update: every rank applies the identical summed gradient,
@@ -550,11 +655,14 @@ func (r *rank) step(lr float64) {
 		r.adagrad.Step()
 	}
 
-	r.tStep = time.Since(start)
-	r.tA2A = a2a
-	r.tAR = ar
-	r.arWait = arWait
-	r.tCompute = r.tStep - a2a - arWait
+	end := telemetry.Now()
+	trace.Emit(r.shard, telemetry.PhaseOptimizer, tOptStart, end)
+	trace.Emit(r.shard, telemetry.PhaseStep, start, end)
+	r.tStep = time.Duration(end - start)
+	r.tA2A = time.Duration(a2a)
+	r.tAR = time.Duration(ar)
+	r.arWait = time.Duration(arWait)
+	r.tCompute = r.tStep - r.tA2A - r.arWait
 }
 
 // allReduceBuckets ring-all-reduces the flattened dense gradients in

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/embedding"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/xrand"
 )
@@ -45,6 +46,25 @@ type Options struct {
 	// disaggregated reader tier so reader-bound regimes are reproducible
 	// on any machine.
 	ReadBandwidth float64
+	// Registry receives the pipeline's stage meters under "ingest/…".
+	// Nil gets a private registry, so Meters keeps working standalone.
+	Registry *telemetry.Registry
+	// Trace, when non-nil, records stage spans (read, decode, shuffle
+	// admission, batch assembly, trainer batch-wait) onto ShardCount
+	// consecutive tracer shards starting at TraceShard: one per decoder,
+	// one for the assembler, one for NextBatch waits.
+	Trace      *telemetry.Tracer
+	TraceShard int
+}
+
+// ShardCount returns how many tracer shards the pipeline records onto
+// (after defaults: Readers decoders + assembler + batch-wait).
+func (o Options) ShardCount() int {
+	r := o.Readers
+	if r <= 0 {
+		r = 1
+	}
+	return r + 2
 }
 
 func (o *Options) defaults() error {
@@ -157,12 +177,17 @@ type Pipeline struct {
 	wg       sync.WaitGroup
 	err      atomic.Value // first stage error, type error
 
-	// meters
-	bytesRead, readNanos, decodeNanos atomic.Int64
-	examplesDecoded, batchesOut       atomic.Int64
-	totalIdx, uniqueIdx               atomic.Int64
-	starvedNanos, occSum, nextCalls   atomic.Int64
-	firstNext, lastNext               atomic.Int64 // unix nanos
+	// Meters live in a telemetry.Registry ("ingest/…"); the pointers are
+	// resolved once at Open so the hot paths stay single atomic adds.
+	reg                               *telemetry.Registry
+	bytesRead, readNanos, decodeNanos *telemetry.Counter
+	examplesDecoded, batchesOut       *telemetry.Counter
+	totalIdx, uniqueIdx               *telemetry.Counter
+	starvedNanos, occSum, nextCalls   *telemetry.Counter
+	// firstNext/lastNext bound the trainer's measurement window, in
+	// telemetry-clock nanos — the same monotonic base as starvedNanos and
+	// every span, so StarvationFrac and the attribution report agree.
+	firstNext, lastNext *telemetry.Gauge
 }
 
 // Open validates cfg against the dataset and starts the stage goroutines:
@@ -191,6 +216,32 @@ func Open(ds *Dataset, cfg core.Config, opt Options) (*Pipeline, error) {
 		freeBatch:  make(chan *core.MiniBatch, opt.PrefetchDepth+2),
 		stop:       make(chan struct{}),
 	}
+	reg := opt.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	p.reg = reg
+	p.bytesRead = reg.Counter("ingest/bytes_read")
+	p.readNanos = reg.Counter("ingest/read_ns")
+	p.decodeNanos = reg.Counter("ingest/decode_ns")
+	p.examplesDecoded = reg.Counter("ingest/examples_decoded")
+	p.batchesOut = reg.Counter("ingest/batches_out")
+	p.totalIdx = reg.Counter("ingest/indices_total")
+	p.uniqueIdx = reg.Counter("ingest/indices_unique")
+	p.starvedNanos = reg.Counter("ingest/starved_ns")
+	p.occSum = reg.Counter("ingest/occupancy_sum")
+	p.nextCalls = reg.Counter("ingest/next_calls")
+	p.firstNext = reg.Gauge("ingest/first_next_ns")
+	p.lastNext = reg.Gauge("ingest/last_next_ns")
+	reg.RegisterFunc("ingest/ring_depth", func() int64 { return int64(len(p.batchCh)) })
+	reg.RegisterFunc("ingest/ring_cap", func() int64 { return int64(p.opt.PrefetchDepth) })
+	if t := opt.Trace; t != nil {
+		for r := 0; r < opt.Readers; r++ {
+			t.NameShard(opt.TraceShard+r, fmt.Sprintf("ingest decoder %d", r))
+		}
+		t.NameShard(opt.TraceShard+opt.Readers, "ingest assembler")
+		t.NameShard(opt.TraceShard+opt.Readers+1, "ingest batch-wait")
+	}
 	for i := 0; i < nBlocks; i++ {
 		p.freeBlocks <- &block{}
 	}
@@ -201,10 +252,10 @@ func Open(ds *Dataset, cfg core.Config, opt Options) (*Pipeline, error) {
 	for r := 0; r < opt.Readers; r++ {
 		p.wg.Add(1)
 		decoders.Add(1)
-		go func() {
+		go func(r int) {
 			defer decoders.Done()
-			p.decodeLoop()
-		}()
+			p.decodeLoop(opt.TraceShard + r)
+		}(r)
 	}
 	go func() { // close the block stream once every decoder drains
 		decoders.Wait()
@@ -246,8 +297,9 @@ func (p *Pipeline) coordinate() {
 
 // decodeLoop is one reader of the parallel decode stage: claim a shard,
 // read it (throttled to the emulated storage bandwidth) into the block's
-// reusable buffer, parse, and hand the block downstream.
-func (p *Pipeline) decodeLoop() {
+// reusable buffer, parse, and hand the block downstream. shard is this
+// decoder's tracer shard (it is the only goroutine recording onto it).
+func (p *Pipeline) decodeLoop(shard int) {
 	defer p.wg.Done()
 	for {
 		var si int
@@ -268,7 +320,7 @@ func (p *Pipeline) decodeLoop() {
 		}
 
 		sh := p.ds.Manifest.Shards[si]
-		t0 := time.Now()
+		t0 := telemetry.Now()
 		if cap(blk.raw) < int(sh.Bytes) {
 			blk.raw = make([]byte, sh.Bytes)
 		}
@@ -279,7 +331,7 @@ func (p *Pipeline) decodeLoop() {
 		}
 		if p.opt.ReadBandwidth > 0 {
 			want := time.Duration(float64(sh.Bytes) / p.opt.ReadBandwidth * float64(time.Second))
-			if spent := time.Since(t0); spent < want {
+			if spent := time.Duration(telemetry.Now() - t0); spent < want {
 				select {
 				case <-time.After(want - spent):
 				case <-p.stop:
@@ -287,16 +339,19 @@ func (p *Pipeline) decodeLoop() {
 				}
 			}
 		}
-		p.readNanos.Add(int64(time.Since(t0)))
+		t1 := telemetry.Now()
+		p.readNanos.Add(t1 - t0)
 		p.bytesRead.Add(sh.Bytes)
+		p.opt.Trace.Emit(shard, telemetry.PhaseIngestRead, t0, t1)
 
-		t1 := time.Now()
 		if err := decodeShard(blk.raw, &p.ds.Manifest, blk); err != nil {
 			p.fail(err)
 			return
 		}
-		p.decodeNanos.Add(int64(time.Since(t1)))
+		t2 := telemetry.Now()
+		p.decodeNanos.Add(t2 - t1)
 		p.examplesDecoded.Add(int64(blk.n))
+		p.opt.Trace.Emit(shard, telemetry.PhaseIngestDecode, t1, t2)
 
 		select {
 		case p.blockCh <- blk:
@@ -317,7 +372,9 @@ func (p *Pipeline) assemble() {
 	var spare []*exSlot // recycled slots
 	sparse := p.cfg.NumSparse()
 	dense := p.cfg.DenseFeatures
+	asmShard := p.opt.TraceShard + p.opt.Readers // this goroutine's tracer shard
 	admit := func(blk *block) {
+		t0 := telemetry.Now()
 		for i := 0; i < blk.n; i++ {
 			var s *exSlot
 			if n := len(spare); n > 0 {
@@ -334,6 +391,7 @@ func (p *Pipeline) assemble() {
 			}
 			res = append(res, s)
 		}
+		p.opt.Trace.Emit(asmShard, telemetry.PhaseIngestShuffle, t0, telemetry.Now())
 		select { // block fully copied out; hand it straight back
 		case p.freeBlocks <- blk:
 		default:
@@ -372,7 +430,9 @@ func (p *Pipeline) assemble() {
 		if mb == nil {
 			return // stopped
 		}
+		tFill := telemetry.Now()
 		spare = p.fillBatch(mb, bs, &res, spare, rng)
+		p.opt.Trace.Emit(asmShard, telemetry.PhaseIngestAssemble, tFill, telemetry.Now())
 		select {
 		case p.batchCh <- mb:
 			p.batchesOut.Add(1)
@@ -463,11 +523,14 @@ func (p *Pipeline) fillBatch(mb *core.MiniBatch, bs int, res *[]*exSlot, spare [
 }
 
 // NextBatch implements core.BatchSource. It meters ring occupancy and the
-// time spent starved (blocked on an empty ring).
+// time spent starved (blocked on an empty ring). All timestamps come
+// from the telemetry clock — the same monotonic base as hybrid step
+// timing — so StarvationFrac composes with the attribution report
+// instead of mixing wall- and monotonic-clock windows.
 func (p *Pipeline) NextBatch() (*core.MiniBatch, error) {
-	now := time.Now().UnixNano()
-	p.firstNext.CompareAndSwap(0, now)
-	p.nextCalls.Add(1)
+	now := telemetry.Now()
+	p.firstNext.SetOnce(now)
+	p.nextCalls.Inc()
 	p.occSum.Add(int64(len(p.batchCh)))
 
 	var mb *core.MiniBatch
@@ -475,7 +538,7 @@ func (p *Pipeline) NextBatch() (*core.MiniBatch, error) {
 	select {
 	case mb, ok = <-p.batchCh: // fast path: ring has a batch ready
 	default:
-		t0 := time.Now()
+		t0 := telemetry.Now()
 		select {
 		case mb, ok = <-p.batchCh:
 		case <-p.stop:
@@ -484,9 +547,11 @@ func (p *Pipeline) NextBatch() (*core.MiniBatch, error) {
 			}
 			return nil, fmt.Errorf("ingest: pipeline closed")
 		}
-		p.starvedNanos.Add(int64(time.Since(t0)))
+		t1 := telemetry.Now()
+		p.starvedNanos.Add(t1 - t0)
+		p.opt.Trace.Emit(p.opt.TraceShard+p.opt.Readers+1, telemetry.PhaseBatchWait, t0, t1)
 	}
-	p.lastNext.Store(time.Now().UnixNano())
+	p.lastNext.Set(telemetry.Now())
 	if !ok {
 		if err := p.takeErr(); err != nil {
 			return nil, err
@@ -515,7 +580,13 @@ func (p *Pipeline) Recycle(mb *core.MiniBatch) {
 	}
 }
 
-// Meters returns a snapshot of the per-stage meters.
+// Registry returns the registry holding the pipeline's "ingest/…"
+// meters (the one passed in Options, or the private default).
+func (p *Pipeline) Registry() *telemetry.Registry { return p.reg }
+
+// Meters returns a snapshot of the per-stage meters. It is a shim over
+// the telemetry registry, kept so existing callers and experiments read
+// the same struct they always did.
 func (p *Pipeline) Meters() MeterSnapshot {
 	m := MeterSnapshot{
 		BytesRead:       p.bytesRead.Load(),
@@ -536,21 +607,25 @@ func (p *Pipeline) Meters() MeterSnapshot {
 	return m
 }
 
-// ResetMeters zeroes every meter, excluding pipeline warm-up (ring fill,
-// first shard reads) from a subsequent measurement window.
+// ResetMeters zeroes the pipeline's own meters, excluding warm-up (ring
+// fill, first shard reads) from a subsequent measurement window.
+//
+// Deprecated: prefer Registry().Reset(), which opens a fresh window
+// across every subsystem sharing the registry at once. ResetMeters only
+// touches the "ingest/…" instruments.
 func (p *Pipeline) ResetMeters() {
-	p.bytesRead.Store(0)
-	p.readNanos.Store(0)
-	p.decodeNanos.Store(0)
-	p.examplesDecoded.Store(0)
-	p.batchesOut.Store(0)
-	p.totalIdx.Store(0)
-	p.uniqueIdx.Store(0)
-	p.starvedNanos.Store(0)
-	p.occSum.Store(0)
-	p.nextCalls.Store(0)
-	p.firstNext.Store(0)
-	p.lastNext.Store(0)
+	p.bytesRead.Reset()
+	p.readNanos.Reset()
+	p.decodeNanos.Reset()
+	p.examplesDecoded.Reset()
+	p.batchesOut.Reset()
+	p.totalIdx.Reset()
+	p.uniqueIdx.Reset()
+	p.starvedNanos.Reset()
+	p.occSum.Reset()
+	p.nextCalls.Reset()
+	p.firstNext.Set(0)
+	p.lastNext.Set(0)
 }
 
 // Close stops every stage goroutine and waits for them to exit. The

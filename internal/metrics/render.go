@@ -154,6 +154,54 @@ func Sparkline(values []float64) string {
 	return b.String()
 }
 
+// GanttRow is one labeled interval set for Gantt: a track name plus
+// [start, end) pairs in arbitrary (but shared) time units.
+type GanttRow struct {
+	Label     string
+	Intervals [][2]float64
+}
+
+// Gantt renders labeled interval tracks as an ASCII timeline. The time
+// axis spans [t0, t1] over width characters; each row paints '#' where
+// any of its intervals cover the column. Used for per-step span
+// timelines ("which phase ran when, on which shard").
+func Gantt(rows []GanttRow, t0, t1 float64, width int) string {
+	if width <= 0 {
+		width = 80
+	}
+	if t1 <= t0 {
+		t1 = t0 + 1
+	}
+	labelW := 0
+	for _, r := range rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	scale := float64(width) / (t1 - t0)
+	var b strings.Builder
+	for _, r := range rows {
+		cells := make([]byte, width)
+		for i := range cells {
+			cells[i] = '.'
+		}
+		for _, iv := range r.Intervals {
+			lo := int(math.Floor((iv[0] - t0) * scale))
+			hi := int(math.Ceil((iv[1] - t0) * scale))
+			if hi <= lo {
+				hi = lo + 1
+			}
+			for c := lo; c < hi; c++ {
+				if c >= 0 && c < width {
+					cells[c] = '#'
+				}
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", labelW, r.Label, cells)
+	}
+	return b.String()
+}
+
 // CSV renders rows as comma-separated text (no quoting; intended for
 // numeric experiment dumps).
 func CSV(rows [][]string) string {

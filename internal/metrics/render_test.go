@@ -120,6 +120,33 @@ func TestSparkline(t *testing.T) {
 	}
 }
 
+func TestGantt(t *testing.T) {
+	rows := []GanttRow{
+		{Label: "rank 0", Intervals: [][2]float64{{0, 5}, {8, 10}}},
+		{Label: "ingest", Intervals: [][2]float64{{5, 8}}},
+	}
+	out := Gantt(rows, 0, 10, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "rank 0 |#####...##|") {
+		t.Errorf("row 0 = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "ingest |.....###..|") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	// Sub-column intervals still paint at least one cell.
+	tiny := Gantt([]GanttRow{{Label: "x", Intervals: [][2]float64{{0.1, 0.11}}}}, 0, 100, 10)
+	if !strings.Contains(tiny, "#") {
+		t.Errorf("tiny interval invisible: %q", tiny)
+	}
+	// Degenerate range must not divide by zero.
+	if s := Gantt(rows, 5, 5, 10); s == "" {
+		t.Error("degenerate range rendered nothing")
+	}
+}
+
 func TestCSV(t *testing.T) {
 	s := CSV([][]string{{"a", "b"}, {"1", "2"}})
 	if s != "a,b\n1,2\n" {

@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one trace_event entry in the Chrome/Perfetto JSON object
+// format. Timestamps and durations are microseconds ("ts"/"dur"); "ph"
+// is "X" for complete events and "M" for metadata.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// phaseCategory buckets phases for Chrome's category filter UI.
+func phaseCategory(p Phase) string {
+	switch p {
+	case PhaseIngestRead, PhaseIngestDecode, PhaseIngestShuffle, PhaseIngestAssemble, PhaseBatchWait:
+		return "ingest"
+	case PhaseAllToAll, PhaseAllReduce:
+		return "comm"
+	case PhaseStep:
+		return "step"
+	default:
+		return "compute"
+	}
+}
+
+// WriteChromeTrace serializes the snapshot in Chrome trace_event JSON
+// (object form), loadable in chrome://tracing and Perfetto. Every tracer
+// shard becomes a thread (tid = shard index) under pid 0, labeled with
+// its shard name via thread_name metadata events.
+func WriteChromeTrace(w io.Writer, s TraceSnapshot) error {
+	out := chromeTrace{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{}}
+	for i, name := range s.Shards {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			PID:  0,
+			TID:  i,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, sp := range s.Spans {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: sp.Phase.String(),
+			Cat:  phaseCategory(sp.Phase),
+			Ph:   "X",
+			TS:   float64(sp.Start) / 1e3,
+			Dur:  float64(sp.End-sp.Start) / 1e3,
+			PID:  0,
+			TID:  int(sp.Shard),
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,302 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// Counter is a monotonically increasing atomic instrument. Values are
+// int64; durations are recorded as nanoseconds, bytes as bytes. A nil
+// *Counter no-ops, so optional instrumentation needs no branches at the
+// call site.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Reset zeroes the counter — for per-subsystem measurement windows
+// (deprecated ResetMeters shims). Prefer Registry.Reset.
+func (c *Counter) Reset() {
+	if c != nil {
+		c.v.Store(0)
+	}
+}
+
+// Load returns the current value (0 for nil).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic last-value instrument. A nil *Gauge no-ops.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// SetOnce stores v only if the gauge is still zero (first-write-wins;
+// used for "first event" timestamps) and reports whether it stored.
+func (g *Gauge) SetOnce(v int64) bool {
+	if g == nil {
+		return false
+	}
+	return g.v.CompareAndSwap(0, v)
+}
+
+// Load returns the current value (0 for nil).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry is the unified meter store: named counters, gauges, and
+// snapshot-time functions behind one namespace. Instrument lookup
+// (Counter, Gauge) takes a lock and may allocate — do it once at
+// construction and keep the returned pointer; the instruments themselves
+// are single atomic words with no per-operation allocation.
+//
+// Names are slash-scoped by convention: "collective/allreduce/bytes",
+// "ingest/bytes_read", "hybrid/step_ns".
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	funcs    map[string]func() int64
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		funcs:    make(map[string]func() int64),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil
+// registry returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// RegisterFunc installs a snapshot-time metric: fn is evaluated on every
+// Snapshot. Use it to surface externally owned counters (embedding-table
+// lookup stripes, ring depths) without copying them on the hot path.
+func (r *Registry) RegisterFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}
+
+// Metric is one named value in a snapshot.
+type Metric struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Snapshot is a point-in-time copy of every registry instrument, sorted
+// by name.
+type Snapshot struct {
+	Metrics []Metric `json:"metrics"`
+}
+
+// Snapshot reads every instrument (and snapshot function) atomically per
+// instrument. It allocates; take snapshots at measurement boundaries,
+// not inside hot loops.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	ms := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.funcs))
+	for n, c := range r.counters {
+		ms = append(ms, Metric{n, c.Load()})
+	}
+	for n, g := range r.gauges {
+		ms = append(ms, Metric{n, g.Load()})
+	}
+	fns := make([]Metric, 0, len(r.funcs))
+	for n := range r.funcs {
+		fns = append(fns, Metric{Name: n})
+	}
+	funcs := r.funcs
+	r.mu.Unlock()
+	// Evaluate functions outside the lock: they may read other systems.
+	for i := range fns {
+		fns[i].Value = funcs[fns[i].Name]()
+	}
+	ms = append(ms, fns...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+	return Snapshot{Metrics: ms}
+}
+
+// Reset zeroes every counter and gauge (snapshot functions are left
+// alone — they mirror external state). This supersedes the per-subsystem
+// ResetMeters methods: one call opens a fresh measurement window across
+// every absorbed meter.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+}
+
+// Value returns the named metric and whether it exists.
+func (s Snapshot) Value(name string) (int64, bool) {
+	for _, m := range s.Metrics {
+		if m.Name == name {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Get returns the named metric or 0.
+func (s Snapshot) Get(name string) int64 {
+	v, _ := s.Value(name)
+	return v
+}
+
+// Sub returns this snapshot minus prev, metric-wise — the windowed view
+// between two snapshots. Metrics absent from prev pass through.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	old := make(map[string]int64, len(prev.Metrics))
+	for _, m := range prev.Metrics {
+		old[m.Name] = m.Value
+	}
+	out := Snapshot{Metrics: make([]Metric, len(s.Metrics))}
+	for i, m := range s.Metrics {
+		out.Metrics[i] = Metric{m.Name, m.Value - old[m.Name]}
+	}
+	return out
+}
+
+// Render returns the snapshot as an aligned two-column table.
+func (s Snapshot) Render() string {
+	rows := [][]string{{"metric", "value"}}
+	for _, m := range s.Metrics {
+		rows = append(rows, []string{m.Name, fmt.Sprintf("%d", m.Value)})
+	}
+	return metrics.Table(rows)
+}
+
+// WriteJSON serializes a snapshot of the registry.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// expvarMu guards duplicate expvar names across multiple Serve calls
+// in one process (expvar.Publish panics on re-publication).
+var expvarMu sync.Mutex
+
+// PublishExpvar exposes the registry under the given expvar name, so
+// /debug/vars carries a live snapshot. Re-publishing an existing name is
+// a no-op (expvar forbids replacement).
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot().Metrics }))
+}
+
+// Handler returns an http.Handler serving the registry snapshot as JSON.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+}
+
+// Serve starts an HTTP endpoint with the process profile and the
+// registry: /debug/vars (expvar, including this registry under
+// "telemetry"), /debug/pprof/* (the standard profiles), and /metrics
+// (the registry snapshot as JSON). It returns the running server; the
+// caller shuts it down. The listener is bound synchronously, so a
+// returned nil error means the endpoint is live.
+func Serve(addr string, r *Registry) (*http.Server, error) {
+	r.PublishExpvar("telemetry")
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", r.Handler())
+	srv := &http.Server{Addr: addr, Handler: mux}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	srv.Addr = ln.Addr().String() // report the resolved port for ":0"
+	go func() { _ = srv.Serve(ln) }()
+	return srv, nil
+}

@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestServeEndpoints binds a real listener (127.0.0.1:0), then drives
+// the mux in-process so the test doesn't depend on recovering the
+// ephemeral port.
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve/hits").Add(42)
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	for path, check := range map[string]func([]byte) error{
+		"/metrics": func(b []byte) error {
+			var s Snapshot
+			if err := json.Unmarshal(b, &s); err != nil {
+				return err
+			}
+			if s.Get("serve/hits") != 42 {
+				t.Fatalf("metrics missing counter: %s", b)
+			}
+			return nil
+		},
+		"/debug/vars": func(b []byte) error {
+			var m map[string]any
+			return json.Unmarshal(b, &m)
+		},
+	} {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rec := httptest.NewRecorder()
+		srv.Handler.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", path, rec.Code, rec.Body)
+		}
+		if err := check(rec.Body.Bytes()); err != nil {
+			t.Fatalf("%s: %v (%s)", path, err, rec.Body)
+		}
+	}
+	// Second Serve must not panic on duplicate expvar publication.
+	srv2, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_ = srv2.Shutdown(ctx)
+}

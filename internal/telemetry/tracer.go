@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Span is one recorded interval on one shard. Start and End are
+// nanoseconds since the telemetry epoch (see Now).
+type Span struct {
+	Phase Phase
+	Shard int32
+	Start int64
+	End   int64
+}
+
+// Dur returns the span length in nanoseconds.
+func (s Span) Dur() int64 { return s.End - s.Start }
+
+// SpanToken is an open span: the phase and its start timestamp. Tokens
+// live on the caller's stack — Begin/Next/End never touch the heap.
+type SpanToken struct {
+	phase Phase
+	start int64
+	live  bool
+}
+
+// Start returns the token's begin timestamp (0 for a token minted by a
+// nil tracer).
+func (t SpanToken) Start() int64 { return t.start }
+
+// traceShard is one single-writer span slab. Exactly one goroutine may
+// record into a shard at a time; distinct shards are written
+// concurrently without synchronization (disjoint memory). The pad keeps
+// two shards' hot cursors off one cache line.
+type traceShard struct {
+	spans []Span
+	next  int
+	total uint64
+	_     [64]byte
+}
+
+// Tracer is a fixed-capacity, slab-backed span recorder. It is sharded:
+// every recording goroutine (trainer, rank, decoder, assembler) owns one
+// shard index and appends completed spans into that shard's
+// pre-allocated ring, overwriting the oldest spans when full. The record
+// path performs no allocations and takes no locks; Snapshot (which does
+// allocate) must only run while the shards are quiescent — between
+// steps, or after the recording goroutines stopped.
+//
+// A nil *Tracer is valid: every method no-ops, so hot paths instrument
+// unconditionally.
+type Tracer struct {
+	shards []traceShard
+	names  []string
+}
+
+// NewTracer builds a tracer with the given shard count, each holding a
+// ring of capacity spans. Memory is allocated up front: shards ×
+// capacity × 24 bytes.
+func NewTracer(shards, capacity int) *Tracer {
+	if shards <= 0 {
+		panic(fmt.Sprintf("telemetry: tracer shard count %d", shards))
+	}
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	t := &Tracer{shards: make([]traceShard, shards), names: make([]string, shards)}
+	for i := range t.shards {
+		t.shards[i].spans = make([]Span, capacity)
+		t.names[i] = fmt.Sprintf("shard %d", i)
+	}
+	return t
+}
+
+// Shards returns the shard count (0 for a nil tracer).
+func (t *Tracer) Shards() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.shards)
+}
+
+// NameShard labels a shard for the exporters ("rank 0", "decoder 1").
+func (t *Tracer) NameShard(i int, name string) {
+	if t == nil {
+		return
+	}
+	t.names[i] = name
+}
+
+// Begin opens a span. It only reads the clock; pass the token to End (or
+// Next) on the owning shard to record it.
+func (t *Tracer) Begin(p Phase) SpanToken {
+	if t == nil {
+		return SpanToken{}
+	}
+	return SpanToken{phase: p, start: Now(), live: true}
+}
+
+// End closes the span onto the shard's slab and returns the end
+// timestamp (0 on a nil tracer or dead token).
+func (t *Tracer) End(shard int, tok SpanToken) int64 {
+	if t == nil || !tok.live {
+		return 0
+	}
+	end := Now()
+	t.record(shard, tok.phase, tok.start, end)
+	return end
+}
+
+// Next closes tok and opens a follow-up span of phase p at the same
+// timestamp, so consecutive segments tile with zero gap — the property
+// that makes per-phase times sum to step wall time exactly.
+func (t *Tracer) Next(shard int, tok SpanToken, p Phase) SpanToken {
+	if t == nil {
+		return SpanToken{}
+	}
+	now := Now()
+	if tok.live {
+		t.record(shard, tok.phase, tok.start, now)
+	}
+	return SpanToken{phase: p, start: now, live: true}
+}
+
+// Emit records a span with explicit bounds — for callers that already
+// captured timestamps with Now (the hybrid rank step times its segments
+// this way and emits them after the fact).
+func (t *Tracer) Emit(shard int, p Phase, start, end int64) {
+	if t == nil {
+		return
+	}
+	t.record(shard, p, start, end)
+}
+
+func (t *Tracer) record(shard int, p Phase, start, end int64) {
+	s := &t.shards[shard]
+	s.spans[s.next] = Span{Phase: p, Shard: int32(shard), Start: start, End: end}
+	s.next++
+	if s.next == len(s.spans) {
+		s.next = 0
+	}
+	s.total++
+}
+
+// Reset discards every recorded span (capacity is retained). Like
+// Snapshot, it requires quiescent shards.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.next = 0
+		s.total = 0
+		for j := range s.spans {
+			s.spans[j] = Span{}
+		}
+	}
+}
+
+// TraceSnapshot is a point-in-time copy of a tracer's retained spans,
+// ordered by start time, plus the shard labels and the count of spans
+// lost to ring overwrite.
+type TraceSnapshot struct {
+	Spans   []Span
+	Shards  []string
+	Dropped uint64
+}
+
+// Snapshot copies the retained spans out of every shard. It allocates,
+// and must not run concurrently with recording (call it between steps or
+// after the recording goroutines are done).
+func (t *Tracer) Snapshot() TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	var snap TraceSnapshot
+	snap.Shards = append([]string(nil), t.names...)
+	for i := range t.shards {
+		s := &t.shards[i]
+		n := int(s.total)
+		if n > len(s.spans) {
+			snap.Dropped += s.total - uint64(len(s.spans))
+			n = len(s.spans)
+		}
+		// Ring order: oldest retained span first.
+		start := s.next - n
+		if start < 0 {
+			start += len(s.spans)
+		}
+		for k := 0; k < n; k++ {
+			snap.Spans = append(snap.Spans, s.spans[(start+k)%len(s.spans)])
+		}
+	}
+	sort.SliceStable(snap.Spans, func(i, j int) bool { return snap.Spans[i].Start < snap.Spans[j].Start })
+	return snap
+}
+
+// ShardName returns the label of shard i ("shard i" when unnamed).
+func (s TraceSnapshot) ShardName(i int) string {
+	if i >= 0 && i < len(s.Shards) {
+		return s.Shards[i]
+	}
+	return fmt.Sprintf("shard %d", i)
+}
+
+// PhaseTotals sums span durations per phase in seconds across the whole
+// snapshot (PhaseStep excluded — it envelopes the others).
+func (s TraceSnapshot) PhaseTotals() map[Phase]float64 {
+	out := make(map[Phase]float64)
+	for _, sp := range s.Spans {
+		if sp.Phase == PhaseStep {
+			continue
+		}
+		out[sp.Phase] += float64(sp.Dur()) / 1e9
+	}
+	return out
+}

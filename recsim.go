@@ -2,7 +2,7 @@
 // reproduction of "Understanding Training Efficiency of Deep Learning
 // Recommendation Models at Scale" (HPCA 2021).
 //
-// It bundles six capabilities:
+// It bundles seven capabilities:
 //
 //   - a real DLRM training stack (models, embedding tables, optimizers,
 //     synthetic click data, single-node and distributed trainers) whose
@@ -30,9 +30,16 @@
 //     hot-row caching with pluggable eviction policies (LRU, LFU, CLOCK),
 //     and exploits the §III-A2 power-law access skew via the Tiered
 //     placement strategy (PlaceTiered);
+//   - a unified zero-allocation telemetry layer (internal/telemetry): a
+//     slab-backed per-shard span tracer covering every phase of the
+//     training step and ingestion pipeline, a lock-free counter/gauge
+//     registry absorbing every subsystem meter, Chrome trace_event and
+//     expvar/pprof exporters, and an attribution report joining observed
+//     span timings against the analytic perfmodel per phase;
 //   - runners that regenerate every table and figure of the paper's
-//     evaluation, plus an MTrainS-style tiered-memory sweep and a
-//     hybrid-parallel ranks × batch scaling study.
+//     evaluation, plus an MTrainS-style tiered-memory sweep, a
+//     hybrid-parallel ranks × batch scaling study, and an
+//     observed-vs-predicted telemetry attribution study.
 //
 // Quick start:
 //
@@ -43,6 +50,8 @@ package recsim
 
 import (
 	"fmt"
+	"io"
+	"net/http"
 
 	"repro/internal/collective"
 	"repro/internal/core"
@@ -55,6 +64,7 @@ import (
 	"repro/internal/memtier"
 	"repro/internal/perfmodel"
 	"repro/internal/placement"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 	"repro/internal/xrand"
 )
@@ -152,6 +162,28 @@ type (
 	// DedupIndex is the RecD-style within-batch unique-row view of a
 	// sparse bag (MiniBatch.AttachDedup builds one per feature).
 	DedupIndex = embedding.DedupIndex
+	// Tracer is the fixed-capacity, slab-backed span recorder behind
+	// per-step phase tracing. Recording is lock- and allocation-free;
+	// each shard (trainer, rank, ingest stage) is single-writer.
+	Tracer = telemetry.Tracer
+	// Registry is the unified lock-free counter/gauge registry every
+	// subsystem meters into ("hybrid/…", "collective/…", "ingest/…").
+	Registry = telemetry.Registry
+	// Snapshot is a point-in-time copy of a Registry's metrics.
+	Snapshot = telemetry.Snapshot
+	// TraceSnapshot is a point-in-time copy of a Tracer's recorded
+	// spans, exportable via WriteChromeTrace or TraceSnapshot.Timeline.
+	TraceSnapshot = telemetry.TraceSnapshot
+	// TraceSpan is one recorded phase interval on one shard.
+	TraceSpan = telemetry.Span
+	// TracePhase identifies a step/ingest phase (emb_lookup, all_to_all,
+	// dense_fwd, …) in the telemetry taxonomy.
+	TracePhase = telemetry.Phase
+	// AttributionReport decomposes a trace into per-shard step windows,
+	// per-phase exposed time, background/overlapped work, and the
+	// critical-path wall time; Render joins it against an analytic
+	// prediction such as PredictedPhases.
+	AttributionReport = telemetry.Attribution
 )
 
 // Placement strategies (Fig 8, plus the tiered-memory extension).
@@ -342,6 +374,40 @@ func IngestBytesPerExample(cfg ModelConfig) float64 {
 	return perfmodel.IngestBytesPerExample(cfg)
 }
 
+// NewTracer builds a span tracer with the given number of single-writer
+// shards, each holding a ring of capacity spans (capacity <= 0 gets a
+// default). Wire it to core.Trainer via SetTrace, to the hybrid trainer
+// via HybridConfig.Trace, and to the ingestion pipeline via
+// IngestOptions.Trace; their ShardCount helpers size the shard layout.
+func NewTracer(shards, capacity int) *Tracer { return telemetry.NewTracer(shards, capacity) }
+
+// NewTelemetryRegistry builds an empty metrics registry. Passing it via
+// HybridConfig.Registry / IngestOptions.Registry makes every subsystem
+// meter land in one snapshot-able, HTTP-exportable place.
+func NewTelemetryRegistry() *Registry { return telemetry.NewRegistry() }
+
+// WriteChromeTrace serializes a trace snapshot as Chrome trace_event
+// JSON, loadable in chrome://tracing or Perfetto.
+func WriteChromeTrace(w io.Writer, s TraceSnapshot) error { return telemetry.WriteChromeTrace(w, s) }
+
+// Attribute decomposes a trace snapshot into the per-phase attribution
+// report (observed step phases, background/overlapped work, critical
+// path). Render the result against PredictedPhases for the
+// observed-vs-predicted table of the telemetry_attribution experiment.
+func Attribute(s TraceSnapshot) AttributionReport { return telemetry.Attribute(s) }
+
+// PredictedPhases projects an analytic Breakdown (EstimateGPU,
+// EstimateCPUCluster) onto the telemetry phase taxonomy in seconds per
+// step — the predicted column of AttributionReport.Render.
+func PredictedPhases(bd Breakdown) map[TracePhase]float64 { return perfmodel.PredictedPhases(bd) }
+
+// ServeTelemetry exposes the registry on addr: /metrics (JSON snapshot),
+// /debug/vars (expvar), and /debug/pprof. It returns the live server
+// (its Addr resolves ":0" to the bound port); shut it down when done.
+func ServeTelemetry(addr string, r *Registry) (*http.Server, error) {
+	return telemetry.Serve(addr, r)
+}
+
 // Experiments lists the regenerable paper artifacts.
 func Experiments() []string { return experiments.IDs() }
 
@@ -351,7 +417,7 @@ func RunExperiment(id string, opt ExperimentOptions) (ExperimentResult, error) {
 }
 
 // Version identifies the reproduction release.
-const Version = "1.4.0"
+const Version = "1.5.0"
 
 // Describe returns a one-line summary of a model config.
 func Describe(cfg ModelConfig) string {

@@ -1,9 +1,59 @@
 package recsim
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
+
+// TestPublicAPITelemetry drives the v1.5 observability surface: trace a
+// few traced single-process steps, attribute them, export Chrome JSON,
+// and read a metric back out of a registry snapshot.
+func TestPublicAPITelemetry(t *testing.T) {
+	cfg := ModelConfig{
+		Name:          "telemetry-api",
+		DenseFeatures: 8,
+		Sparse:        UniformSparse(2, 100, 3),
+		EmbeddingDim:  8,
+		BottomMLP:     []int{16},
+		TopMLP:        []int{16},
+		Interaction:   InteractionDot,
+	}
+	tr := NewTrainer(NewModel(cfg, 1), TrainerConfig{LR: 0.05})
+	tracer := NewTracer(1, 256)
+	tr.SetTrace(tracer, 0)
+	gen := NewGenerator(cfg, 2)
+	for i := 0; i < 5; i++ {
+		tr.Step(gen.NextBatch(32))
+	}
+
+	attr := Attribute(tracer.Snapshot())
+	if attr.TotalSteps != 5 {
+		t.Errorf("attributed %d steps, want 5", attr.TotalSteps)
+	}
+	// Loose bound: these toy steps are microseconds long, so the fixed
+	// clock-read slack between spans is proportionally large. The 1%
+	// acceptance check runs at realistic scale in telemetry_attribution.
+	if c := attr.Coverage(); c < 0.9 || c > 1.1 {
+		t.Errorf("phase coverage %.4f, want ~1.0", c)
+	}
+	if out := attr.Render(nil); !strings.Contains(out, "dense_fwd") {
+		t.Errorf("report missing dense_fwd:\n%s", out)
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tracer.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "traceEvents") {
+		t.Error("chrome trace missing traceEvents")
+	}
+
+	reg := NewTelemetryRegistry()
+	reg.Counter("api/steps").Add(5)
+	if got := reg.Snapshot().Get("api/steps"); got != 5 {
+		t.Errorf("registry snapshot api/steps = %d, want 5", got)
+	}
+}
 
 func TestPublicAPITrainingFlow(t *testing.T) {
 	cfg := ModelConfig{
@@ -162,7 +212,7 @@ func TestPublicAPITieredPlacement(t *testing.T) {
 
 func TestPublicAPIExperiments(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 19 {
+	if len(ids) != 20 {
 		t.Fatalf("Experiments() = %d ids", len(ids))
 	}
 	res, err := RunExperiment("table1", ExperimentOptions{Quick: true})

@@ -1,0 +1,92 @@
+package recsim
+
+import (
+	"testing"
+
+	"repro/internal/benchreport"
+	"repro/internal/hybrid"
+	"repro/internal/ingest"
+	"repro/internal/telemetry"
+)
+
+// TestStepTraceZeroAlloc is the observability half of the hot-path
+// allocation budget: turning span tracing ON must not add a single heap
+// allocation to any steady-state step. The budgets mirror the untraced
+// guards — 0 for the single-process step (zeroalloc_test.go), ~0 with a
+// small runtime allowance for the hybrid and ingestion-fed steps (their
+// untraced guards in internal/hybrid and internal/ingest allow the same).
+func TestStepTraceZeroAlloc(t *testing.T) {
+	cfg := benchreport.BenchStepConfig()
+
+	t.Run("single", func(t *testing.T) {
+		tr := NewTrainer(NewModel(cfg, 1), TrainerConfig{LR: 0.05})
+		tr.SetTrace(telemetry.NewTracer(1, 2048), 0)
+		batch := NewGenerator(cfg, 2).NextBatch(128)
+		for i := 0; i < 3; i++ {
+			tr.Step(batch)
+		}
+		if avg := testing.AllocsPerRun(10, func() { tr.Step(batch) }); avg != 0 {
+			t.Fatalf("traced Trainer.Step allocates %.1f objects per step, want 0", avg)
+		}
+	})
+
+	t.Run("hybrid", func(t *testing.T) {
+		hc := hybrid.Config{Ranks: 2, LR: 0.05, Seed: 1, Overlap: true}
+		hc.Trace = telemetry.NewTracer(hc.ShardCount(), 2048)
+		ht, err := hybrid.New(cfg, hc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ht.Close()
+		batch := NewGenerator(cfg, 2).NextBatch(128)
+		for i := 0; i < 5; i++ {
+			ht.Step(batch)
+		}
+		if avg := testing.AllocsPerRun(20, func() { ht.Step(batch) }); avg > 2 {
+			t.Fatalf("traced hybrid step allocates %.1f objects per step, want ~0", avg)
+		}
+	})
+
+	t.Run("ingest", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := NewGenerator(cfg, 9).WriteShards(dir, 4, 4*128); err != nil {
+			t.Fatal(err)
+		}
+		ds, err := ingest.OpenDataset(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ds.Close()
+		iOpt := ingest.Options{BatchSize: 128, Readers: 2, Dedup: true, Seed: 1}
+		iOpt.Trace = telemetry.NewTracer(1+iOpt.ShardCount(), 2048)
+		iOpt.TraceShard = 1
+		pipe, err := ingest.Open(ds, cfg, iOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pipe.Close()
+		tr := NewTrainer(NewModel(cfg, 1), TrainerConfig{LR: 0.05})
+		tr.SetTrace(iOpt.Trace, 0)
+		// Many epochs of warmup: every slab, ring slot, and dedup map must
+		// reach its high-water mark before counting.
+		for i := 0; i < 800; i++ {
+			mb, err := pipe.NextBatch()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr.Step(mb)
+			pipe.Recycle(mb)
+		}
+		avg := testing.AllocsPerRun(20, func() {
+			mb, err := pipe.NextBatch()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr.Step(mb)
+			pipe.Recycle(mb)
+		})
+		if avg > 2 {
+			t.Fatalf("traced ingest-fed step allocates %.1f objects per step, want ~0", avg)
+		}
+	})
+}
