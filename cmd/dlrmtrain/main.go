@@ -6,14 +6,21 @@
 // the paper-style operator breakdown. -data=file:<dir> swaps the
 // in-memory generator for the staged ingestion pipeline over a sharded
 // on-disk dataset (-readers parallel decoders, optional RecD -dedup),
-// printing the pipeline's per-stage meters.
+// printing the pipeline's per-stage meters. -ckpt.dir enables durable
+// sharded checkpoints (full + incremental) every -ckpt.every iterations,
+// -resume restarts from the latest one, and -faults injects collective
+// faults that the elastic hybrid loop survives by rolling back to the
+// last checkpoint and rejoining.
 //
 //	dlrmtrain -dense 64 -sparse 8 -batch 256 -iters 500 -lr 0.05
 //	dlrmtrain -mode hybrid -ranks 4 -batch 256 -iters 500
 //	dlrmtrain -data file:/tmp/ds -materialize -readers 4 -dedup
+//	dlrmtrain -ckpt.dir /tmp/ck -ckpt.every 100 -iters 200 && dlrmtrain -ckpt.dir /tmp/ck -resume -iters 100
+//	dlrmtrain -mode hybrid -ranks 2 -ckpt.dir /tmp/ck -ckpt.every 50 -faults kill:1@120
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/data"
@@ -81,7 +89,16 @@ func run(args []string, out io.Writer) error {
 	traceFile := fs.String("telemetry.trace", "", "write a Chrome trace_event JSON of the run to this file")
 	httpAddr := fs.String("telemetry.http", "", "serve /metrics, /debug/vars and /debug/pprof on this address for the run's duration")
 	report := fs.Bool("telemetry.report", false, "print the per-phase attribution report and ASCII timeline after training")
+	ckptDir := fs.String("ckpt.dir", "", "durable checkpoint directory (enables periodic checkpointing)")
+	ckptEvery := fs.Int("ckpt.every", 100, "iterations between checkpoints when -ckpt.dir is set")
+	resume := fs.Bool("resume", false, "resume from the latest checkpoint in -ckpt.dir before training")
+	faults := fs.String("faults", "", "collective fault schedule, e.g. kill:1@120,delay:0@40+2ms (hybrid mode, needs -ckpt.dir)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	co, err := openCkpt(*ckptDir, *ckptEvery, *resume, *faults, *mode, *dataFlag)
+	if err != nil {
 		return err
 	}
 
@@ -113,12 +130,60 @@ func run(args []string, out io.Writer) error {
 
 	switch *mode {
 	case "single":
-		return runSingle(out, cfg, fd, *batch, *iters, *lr, *seed, tel)
+		return runSingle(out, cfg, fd, *batch, *iters, *lr, *seed, tel, co)
 	case "hybrid":
-		return runHybrid(out, cfg, fd, *batch, *iters, *lr, *seed, *ranks, *platform, tel)
+		if co != nil && co.faults != nil {
+			fd.close()
+			return runHybridElastic(out, cfg, *batch, *iters, *lr, *seed, *ranks, *platform, co)
+		}
+		return runHybrid(out, cfg, fd, *batch, *iters, *lr, *seed, *ranks, *platform, tel, co)
 	default:
 		return fmt.Errorf("dlrmtrain: unknown mode %q (single, hybrid)", *mode)
 	}
+}
+
+// fullCompactEvery bounds the delta chain: every 8th periodic save is a
+// full compaction, the rest stream only rows touched since the last save.
+const fullCompactEvery = 8
+
+// ckptOpts is the resolved durability configuration of a run.
+type ckptOpts struct {
+	store  *ckpt.Store
+	every  int
+	resume bool
+	faults *collective.FaultSchedule
+}
+
+func openCkpt(dir string, every int, resume bool, faults, mode, dataFlag string) (*ckptOpts, error) {
+	if dir == "" {
+		if resume {
+			return nil, fmt.Errorf("dlrmtrain: -resume needs -ckpt.dir")
+		}
+		if faults != "" {
+			return nil, fmt.Errorf("dlrmtrain: -faults needs -ckpt.dir to recover into")
+		}
+		return nil, nil
+	}
+	if every <= 0 {
+		return nil, fmt.Errorf("dlrmtrain: -ckpt.every must be positive, got %d", every)
+	}
+	store, err := ckpt.OpenStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	co := &ckptOpts{store: store, every: every, resume: resume}
+	if faults != "" {
+		if mode != "hybrid" {
+			return nil, fmt.Errorf("dlrmtrain: -faults needs -mode=hybrid (single mode has no collectives)")
+		}
+		if dataFlag != "synthetic" {
+			return nil, fmt.Errorf("dlrmtrain: -faults needs -data=synthetic (recovery replays the batch stream)")
+		}
+		if co.faults, err = collective.ParseFaultSchedule(faults); err != nil {
+			return nil, err
+		}
+	}
+	return co, nil
 }
 
 // telem bundles the optional observability surfaces of a run: one tracer
@@ -262,17 +327,39 @@ func progressIters(iters int) int {
 	return 100
 }
 
-func runSingle(out io.Writer, cfg core.Config, fd *feed, batch, iters int, lr float64, seed int64, tel *telem) error {
+// resumeLine reports a restore attempt: resumed, cold start, or error.
+func resumeLine(out io.Writer, info ckpt.RestoreInfo, err error) error {
+	switch {
+	case err == nil:
+		fmt.Fprintf(out, "checkpoint: resumed %s\n", info)
+	case errors.Is(err, ckpt.ErrNoCheckpoint):
+		fmt.Fprintln(out, "checkpoint: store empty, cold start")
+	default:
+		return err
+	}
+	return nil
+}
+
+func runSingle(out io.Writer, cfg core.Config, fd *feed, batch, iters int, lr float64, seed int64, tel *telem, co *ckptOpts) error {
 	m := core.NewModel(cfg, xrand.New(seed))
 	tr := core.NewTrainer(m, core.TrainerConfig{Optimizer: core.OptAdagrad, LR: lr})
 	if tel != nil {
 		tr.SetTrace(tel.tracer, 0)
+	}
+	if co != nil && co.resume {
+		info, err := tr.RestoreCheckpoint(co.store)
+		if err := resumeLine(out, info, err); err != nil {
+			return err
+		}
 	}
 
 	start := time.Now()
 	trained := 0
 	for trained < iters {
 		chunk := min(progressIters(iters), iters-trained)
+		if co != nil {
+			chunk = min(chunk, co.every-tr.Iter()%co.every)
+		}
 		loss, steps, err := tr.TrainFrom(fd.src, chunk)
 		if err != nil {
 			return err
@@ -280,6 +367,13 @@ func runSingle(out io.Writer, cfg core.Config, fd *feed, batch, iters int, lr fl
 		trained += steps
 		if steps == 0 {
 			break // finite dataset exhausted
+		}
+		if co != nil && tr.Iter()%co.every == 0 {
+			info, err := tr.SaveCheckpoint(co.store, fullCompactEvery)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "checkpoint: saved %s\n", info)
 		}
 		if fd.gen != nil {
 			eval := core.Evaluate(m, fd.gen.Fork(999).EvalSet(4, 256))
@@ -294,7 +388,7 @@ func runSingle(out io.Writer, cfg core.Config, fd *feed, batch, iters int, lr fl
 	return tel.finish(out, nil)
 }
 
-func runHybrid(out io.Writer, cfg core.Config, fd *feed, batch, iters int, lr float64, seed int64, ranks int, platform string, tel *telem) error {
+func runHybrid(out io.Writer, cfg core.Config, fd *feed, batch, iters int, lr float64, seed int64, ranks int, platform string, tel *telem, co *ckptOpts) error {
 	p, err := hw.ByName(platform)
 	if err != nil {
 		return err
@@ -313,12 +407,21 @@ func runHybrid(out io.Writer, cfg core.Config, fd *feed, batch, iters int, lr fl
 	defer ht.Close()
 	fmt.Fprintf(out, "hybrid: %d ranks, link %s, all-reduce overlapped=%v\n",
 		ranks, link.Name, ranks > 1)
+	if co != nil && co.resume {
+		info, err := ht.RestoreCheckpoint(co.store)
+		if err := resumeLine(out, info, err); err != nil {
+			return err
+		}
+	}
 
 	var bd hybrid.StepBreakdown
 	start := time.Now()
 	trained := 0
 	for trained < iters {
 		chunk := min(progressIters(iters), iters-trained)
+		if co != nil {
+			chunk = min(chunk, co.every-ht.Iter()%co.every)
+		}
 		loss, part, steps, err := ht.TrainFrom(fd.src, chunk)
 		if err != nil {
 			return err
@@ -331,6 +434,13 @@ func runHybrid(out io.Writer, cfg core.Config, fd *feed, batch, iters int, lr fl
 		bd.Step += part.Step
 		if steps == 0 {
 			break
+		}
+		if co != nil && ht.Iter()%co.every == 0 {
+			info, err := ht.SaveCheckpoint(co.store, fullCompactEvery)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "checkpoint: saved %s\n", info)
 		}
 		if fd.gen != nil {
 			eval := core.Evaluate(ht.EvalModel(), fd.gen.Fork(999).EvalSet(4, 256))
@@ -356,6 +466,51 @@ func runHybrid(out io.Writer, cfg core.Config, fd *feed, batch, iters int, lr fl
 	}
 	fd.close() // quiesce ingest goroutines before snapshotting the trace
 	return tel.finish(out, predictedPhases(cfg, p, batch))
+}
+
+// runHybridElastic drives the fault-tolerant elastic loop: faults from
+// -faults strike mid-run, training rolls back to the last durable
+// checkpoint in -ckpt.dir, the world rebuilds, and the deterministic
+// synthetic stream replays — so the final loss curve matches an
+// uninterrupted run bit-for-bit.
+func runHybridElastic(out io.Writer, cfg core.Config, batch, iters int, lr float64, seed int64, ranks int, platform string, co *ckptOpts) error {
+	p, err := hw.ByName(platform)
+	if err != nil {
+		return err
+	}
+	link := collective.LinkFor(p)
+	fmt.Fprintf(out, "hybrid: %d ranks, link %s, elastic (%d scheduled faults, checkpoint every %d iters)\n",
+		ranks, link.Name, co.faults.Len(), co.every)
+	res, err := hybrid.RunElastic(hybrid.ElasticConfig{
+		Cfg:       cfg,
+		HC:        hybrid.Config{Ranks: ranks, LR: lr, Seed: seed, Overlap: ranks > 1, Link: link},
+		Store:     co.store,
+		CkptEvery: co.every,
+		FullEvery: fullCompactEvery,
+		Steps:     iters,
+		Source: func(skip int) (core.BatchSource, func(), error) {
+			// Same seed as openFeed's synthetic generator: recovery
+			// fast-forwards the replayed stream past the restored step.
+			gen := data.NewGenerator(cfg, seed+1, data.DefaultOptions())
+			for i := 0; i < skip; i++ {
+				gen.NextBatch(batch)
+			}
+			return gen.NewSource(batch), func() {}, nil
+		},
+		Faults: co.faults,
+		Logf:   func(format string, args ...any) { fmt.Fprintf(out, format+"\n", args...) },
+	})
+	if err != nil {
+		return err
+	}
+	var last float64
+	if res.Steps > 0 {
+		last = res.Losses[res.Steps-1]
+	}
+	fmt.Fprintf(out, "elastic: %d steps, final loss %.4f, %d recoveries (%v rebuild+restore, %s restored), %d checkpoints\n",
+		res.Steps, last, res.Recoveries, res.RecoveryWall.Round(time.Millisecond),
+		core.HumanBytes(res.BytesRestored), res.Saves)
+	return nil
 }
 
 // predictedPhases estimates the analytic per-phase step time for the

@@ -167,6 +167,70 @@ func TestRunFileModeErrors(t *testing.T) {
 	}
 }
 
+// TestRunCheckpointResume smoke-tests -ckpt.dir/-ckpt.every/-resume in
+// single mode: the first run saves periodic checkpoints, the second
+// resumes from the latest one.
+func TestRunCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"-dense", "8", "-sparse", "2", "-hash", "100", "-dim", "8",
+		"-batch", "32", "-ckpt.dir", dir, "-ckpt.every", "10"}
+	var out strings.Builder
+	if err := run(append(base, "-iters", "20"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "checkpoint: saved ck-00000020") {
+		t.Errorf("output missing checkpoint save:\n%s", out.String())
+	}
+	var out2 strings.Builder
+	if err := run(append(base, "-resume", "-iters", "10"), &out2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2.String(), "checkpoint: resumed ck-00000020") {
+		t.Errorf("output missing resume line:\n%s", out2.String())
+	}
+	if !strings.Contains(out2.String(), "checkpoint: saved ck-00000030") {
+		t.Errorf("resumed run did not continue the checkpoint sequence:\n%s", out2.String())
+	}
+}
+
+// TestRunHybridFaults smoke-tests the elastic path: a scheduled rank
+// kill mid-run, recovery from the checkpoint store, and a completed run.
+func TestRunHybridFaults(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	err := run([]string{"-mode", "hybrid", "-ranks", "2", "-dense", "8", "-sparse", "4",
+		"-hash", "200", "-dim", "8", "-batch", "32", "-iters", "30",
+		"-ckpt.dir", dir, "-ckpt.every", "10", "-faults", "kill:1@15"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"elastic (1 scheduled faults", "kill fault at step 15",
+		"restored ck-00000010", "rejoined 2 ranks at step 10", "1 recoveries"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunCkptFlagErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-resume"}, &out); err == nil {
+		t.Error("-resume without -ckpt.dir accepted")
+	}
+	if err := run([]string{"-faults", "kill:0@1"}, &out); err == nil {
+		t.Error("-faults without -ckpt.dir accepted")
+	}
+	if err := run([]string{"-ckpt.dir", t.TempDir(), "-ckpt.every", "0"}, &out); err == nil {
+		t.Error("non-positive -ckpt.every accepted")
+	}
+	if err := run([]string{"-ckpt.dir", t.TempDir(), "-faults", "kill:0@1"}, &out); err == nil {
+		t.Error("-faults in single mode accepted")
+	}
+	if err := run([]string{"-mode", "hybrid", "-ckpt.dir", t.TempDir(), "-faults", "bogus"}, &out); err == nil {
+		t.Error("malformed -faults accepted")
+	}
+}
+
 func TestRunHybridMode(t *testing.T) {
 	var out strings.Builder
 	err := run([]string{"-mode", "hybrid", "-ranks", "2", "-dense", "8", "-sparse", "4",

@@ -53,7 +53,7 @@ func main() {
 	var last recsim.HybridStepBreakdown
 	var worst float64
 	for i := 0; i < iters; i++ {
-		loss, bd := ht.Step(gen.NextBatch(batch))
+		loss, bd, _ := ht.Step(gen.NextBatch(batch))
 		if d := math.Abs(loss - refLoss[i]); d > worst {
 			worst = d
 		}

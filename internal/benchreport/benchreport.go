@@ -74,6 +74,9 @@ var speedupPairs = []struct{ key, fast, slow string }{
 	{"gemm_tiled_vs_naive", "gemm/tiled_256", "gemm/naive_256"},
 	{"dense_layer_fused_vs_unfused", "dense_layer/fused", "dense_layer/unfused"},
 	{"next_batch_into_vs_fresh", "data/next_batch_into", "data/next_batch"},
+	// Incremental checkpoint vs full snapshot: the stall reduction the
+	// SparseGrad-driven delta path buys at a save point.
+	{"ckpt_delta_vs_full", "ckpt_snapshot/delta", "ckpt_snapshot/full"},
 	// Inverted pairs (ratio ~1.0): the traced step over the untraced
 	// step, i.e. the span tracer's whole-step overhead. Acceptance: the
 	// ratio stays below 1.03 (tracing costs < 3%).

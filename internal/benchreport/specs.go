@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/embedding"
@@ -338,6 +339,89 @@ func DefaultSpecs(filter string) []Spec {
 			Fn: func(iters int) {
 				for i := 0; i < iters; i++ {
 					_ = genFresh.NextBatch(benchBatch)
+				}
+			},
+		})
+	}
+
+	// Checkpoint stall: full snapshot vs incremental delta of the same
+	// trained state — the pause a training loop pays at a save point
+	// (BenchmarkCkptSnapshot in the repository root measures the same
+	// pair). Each iteration deletes the previous checkpoint after the new
+	// one lands (retain-newest policy), so the store directory stays
+	// small and the measured cost is one encode+hash+write cycle. The
+	// delta carries exactly the rows one training step touches.
+	if want("ckpt_snapshot/full", "ckpt_snapshot/delta") {
+		cfg := BenchStepConfig()
+		tr := core.NewTrainer(core.NewModel(cfg, xrand.New(1)), core.TrainerConfig{LR: 0.05})
+		gen := data.NewGenerator(cfg, 2, data.DefaultOptions())
+		tr.Step(gen.NextBatch(benchBatch))
+		touched := make([][]int32, 0, len(tr.DirtyRows()))
+		for _, d := range tr.DirtyRows() {
+			ids := make([]int32, 0, d.Count())
+			d.ForEach(func(r int32) { ids = append(ids, r) })
+			touched = append(touched, ids)
+		}
+		st := tr.CkptState()
+		dirty := tr.DirtyRows()
+		openBenchStore := func(kind string) *ckpt.Store {
+			dir := filepath.Join(os.TempDir(), "repro-ckpt-bench-"+kind)
+			if err := os.RemoveAll(dir); err != nil {
+				panic(err)
+			}
+			store, err := ckpt.OpenStore(dir)
+			if err != nil {
+				panic(err)
+			}
+			return store
+		}
+		var fullStore, deltaStore *ckpt.Store
+		var fullPrev, deltaPrev string
+		specs = append(specs, Spec{
+			Name: "ckpt_snapshot/full",
+			Fn: func(iters int) {
+				if fullStore == nil {
+					fullStore = openBenchStore("full")
+				}
+				for i := 0; i < iters; i++ {
+					st.Step++
+					info, err := fullStore.SaveFull(st, nil)
+					if err != nil {
+						panic(err)
+					}
+					if fullPrev != "" {
+						if err := os.RemoveAll(filepath.Join(os.TempDir(), "repro-ckpt-bench-full", fullPrev)); err != nil {
+							panic(err)
+						}
+					}
+					fullPrev = info.Name
+				}
+			},
+		}, Spec{
+			Name: "ckpt_snapshot/delta",
+			Fn: func(iters int) {
+				if deltaStore == nil {
+					deltaStore = openBenchStore("delta")
+					st.Step++
+					if _, err := deltaStore.SaveFull(st, dirty); err != nil {
+						panic(err)
+					}
+				}
+				for i := 0; i < iters; i++ {
+					for ti, ids := range touched {
+						dirty[ti].Mark(ids)
+					}
+					st.Step++
+					info, err := deltaStore.SaveDelta(st, dirty)
+					if err != nil {
+						panic(err)
+					}
+					if deltaPrev != "" {
+						if err := os.RemoveAll(filepath.Join(os.TempDir(), "repro-ckpt-bench-delta", deltaPrev)); err != nil {
+							panic(err)
+						}
+					}
+					deltaPrev = info.Name
 				}
 			},
 		})

@@ -19,6 +19,7 @@ package collective
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/telemetry"
 )
@@ -106,11 +107,20 @@ type Totals struct {
 // World is a communicator over n ranks sharing one Link and one set of
 // meters. Collectives run on Groups (see NewGroup); concurrent
 // collectives must use distinct groups.
+//
+// A world can be armed with a FaultSchedule (SetFaults): collectives
+// then check for due faults on entry, and a kill or fail fault aborts
+// every group, unblocking all ranks with a RankError. See fault.go.
 type World struct {
 	n     int
 	link  Link
 	reg   *telemetry.Registry
 	stats [numOps]opMeter
+
+	mu     sync.Mutex
+	groups []*Group
+	faults *FaultSchedule
+	step   atomic.Int64
 }
 
 // NewWorld builds a communicator over n ranks with a private telemetry
@@ -171,25 +181,43 @@ func (w *World) NewGroup() *Group {
 	g := &Group{w: w, bufs: make([][]float32, w.n), vecs: make([][][]float32, w.n)}
 	g.bar.n = w.n
 	g.bar.cond = sync.NewCond(&g.bar.mu)
+	w.mu.Lock()
+	w.groups = append(w.groups, g)
+	w.mu.Unlock()
 	return g
 }
 
 // barrier is a reusable cyclic barrier over n goroutines. sync.Cond keeps
 // the wait allocation-free, which matters for the trainer's steady-state
 // zero-allocation budget.
+//
+// The barrier is abortable: abort stores a sticky error, wakes every
+// waiter, and makes all later waits fail fast. That is the mechanism
+// that turns one rank's fault into a prompt, clean error on every rank
+// instead of a deadlock at the next rendezvous.
 type barrier struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	n     int
 	count int
 	gen   uint64
+	err   error // sticky abort reason; set once
 }
 
-func (b *barrier) wait() {
+func (b *barrier) wait() error {
 	if b.n == 1 {
-		return
+		// Single-rank fast path: no rendezvous, but still observe abort.
+		b.mu.Lock()
+		err := b.err
+		b.mu.Unlock()
+		return err
 	}
 	b.mu.Lock()
+	if b.err != nil {
+		err := b.err
+		b.mu.Unlock()
+		return err
+	}
 	gen := b.gen
 	b.count++
 	if b.count == b.n {
@@ -197,11 +225,31 @@ func (b *barrier) wait() {
 		b.gen++
 		b.cond.Broadcast()
 	} else {
-		for gen == b.gen {
+		for gen == b.gen && b.err == nil {
 			b.cond.Wait()
 		}
 	}
+	err := b.err
 	b.mu.Unlock()
+	return err
+}
+
+// abort poisons the barrier with err (first abort wins) and wakes every
+// waiter. All current and future waits return the error.
+func (b *barrier) abort(err error) {
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// error returns the sticky abort reason, or nil.
+func (b *barrier) error() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
 }
 
 // Group is one rendezvous context of a World (see World.NewGroup).
@@ -226,14 +274,22 @@ func chunkRange(size, n, k int) (int, int) {
 // all-gather steps, with contributions applied in fixed ring order so the
 // result is bit-identical on every rank and across runs. All ranks must
 // pass buffers of equal length.
-func (g *Group) AllReduce(rank int, buf []float32) {
+//
+// A non-nil error means the world aborted (injected fault or AbortAll);
+// buf contents are then unspecified and the group is poisoned.
+func (g *Group) AllReduce(rank int, buf []float32) error {
+	if err := g.w.checkFault(rank); err != nil {
+		return err
+	}
 	n := g.w.n
 	if n == 1 {
 		g.w.stats[OpAllReduce].add(0, 0)
-		return
+		return nil
 	}
 	g.bufs[rank] = buf
-	g.bar.wait()
+	if err := g.bar.wait(); err != nil {
+		return err
+	}
 	prev := (rank - 1 + n) % n
 	src := g.bufs[prev]
 	if len(src) != len(buf) {
@@ -252,7 +308,9 @@ func (g *Group) AllReduce(rank int, buf []float32) {
 			dst[i] += v
 		}
 		moved += int64(hi-lo) * 4
-		g.bar.wait()
+		if err := g.bar.wait(); err != nil {
+			return err
+		}
 	}
 	// All-gather: at step s, pull the fully reduced chunk (rank-s) from
 	// the previous rank.
@@ -261,22 +319,30 @@ func (g *Group) AllReduce(rank int, buf []float32) {
 		lo, hi := chunkRange(size, n, k)
 		copy(buf[lo:hi], src[lo:hi])
 		moved += int64(hi-lo) * 4
-		g.bar.wait()
+		if err := g.bar.wait(); err != nil {
+			return err
+		}
 	}
 	g.w.stats[OpAllReduce].add(moved, g.w.link.xferSec(moved, 2*(n-1)))
+	return nil
 }
 
 // AllToAllV exchanges variable-length payloads: send[j] travels to rank
 // j, and recv[j] is filled with what rank j addressed to this rank.
 // len(recv[j]) must equal len(send[j']) as declared by rank j for this
 // rank. Self-addressed payloads are copied but not metered.
-func (g *Group) AllToAllV(rank int, send, recv [][]float32) {
+func (g *Group) AllToAllV(rank int, send, recv [][]float32) error {
+	if err := g.w.checkFault(rank); err != nil {
+		return err
+	}
 	n := g.w.n
 	if len(send) != n || len(recv) != n {
 		panic(fmt.Sprintf("collective: alltoallv needs %d send/recv slots, got %d/%d", n, len(send), len(recv)))
 	}
 	g.vecs[rank] = send
-	g.bar.wait()
+	if err := g.bar.wait(); err != nil {
+		return err
+	}
 	var moved int64
 	for j := 0; j < n; j++ {
 		src := g.vecs[j][rank]
@@ -289,21 +355,29 @@ func (g *Group) AllToAllV(rank int, send, recv [][]float32) {
 			moved += int64(len(src)) * 4
 		}
 	}
-	g.bar.wait()
+	if err := g.bar.wait(); err != nil {
+		return err
+	}
 	g.w.stats[OpAllToAll].add(moved, g.w.link.xferSec(moved, n-1))
+	return nil
 }
 
 // AllGather concatenates every rank's send buffer into recv, ordered by
 // rank. All send buffers must have equal length k; recv must have length
 // n·k.
-func (g *Group) AllGather(rank int, send, recv []float32) {
+func (g *Group) AllGather(rank int, send, recv []float32) error {
+	if err := g.w.checkFault(rank); err != nil {
+		return err
+	}
 	n := g.w.n
 	k := len(send)
 	if len(recv) != n*k {
 		panic(fmt.Sprintf("collective: allgather recv length %d, want %d", len(recv), n*k))
 	}
 	g.bufs[rank] = send
-	g.bar.wait()
+	if err := g.bar.wait(); err != nil {
+		return err
+	}
 	var moved int64
 	for j := 0; j < n; j++ {
 		src := g.bufs[j]
@@ -315,23 +389,31 @@ func (g *Group) AllGather(rank int, send, recv []float32) {
 			moved += int64(k) * 4
 		}
 	}
-	g.bar.wait()
+	if err := g.bar.wait(); err != nil {
+		return err
+	}
 	g.w.stats[OpAllGather].add(moved, g.w.link.xferSec(moved, n-1))
+	return nil
 }
 
 // Broadcast copies the root rank's buf into every other rank's buf. All
 // ranks must pass buffers of equal length.
-func (g *Group) Broadcast(rank, root int, buf []float32) {
+func (g *Group) Broadcast(rank, root int, buf []float32) error {
+	if err := g.w.checkFault(rank); err != nil {
+		return err
+	}
 	n := g.w.n
 	if root < 0 || root >= n {
 		panic(fmt.Sprintf("collective: broadcast root %d of %d ranks", root, n))
 	}
 	if n == 1 {
 		g.w.stats[OpBroadcast].add(0, 0)
-		return
+		return nil
 	}
 	g.bufs[rank] = buf
-	g.bar.wait()
+	if err := g.bar.wait(); err != nil {
+		return err
+	}
 	var moved int64
 	if rank != root {
 		src := g.bufs[root]
@@ -341,9 +423,17 @@ func (g *Group) Broadcast(rank, root int, buf []float32) {
 		copy(buf, src)
 		moved = int64(len(buf)) * 4
 	}
-	g.bar.wait()
+	if err := g.bar.wait(); err != nil {
+		return err
+	}
 	g.w.stats[OpBroadcast].add(moved, g.w.link.xferSec(moved, 1))
+	return nil
 }
 
-// Barrier blocks until every rank has entered it.
-func (g *Group) Barrier() { g.bar.wait() }
+// Barrier blocks until every rank has entered it (or the world aborts).
+func (g *Group) Barrier(rank int) error {
+	if err := g.w.checkFault(rank); err != nil {
+		return err
+	}
+	return g.bar.wait()
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"repro/internal/ckpt"
+)
+
+// CkptState exports the trainer's live parameters and optimizer state as
+// a checkpointable view. Every slice in the returned state aliases
+// trainer memory: ckpt.Store saves stream directly from it, and restores
+// write back into it. Call only between steps.
+func (t *Trainer) CkptState() *ckpt.ModelState {
+	st := &ckpt.ModelState{
+		Step:      t.iter,
+		Optimizer: string(t.cfg.Optimizer),
+		Tables:    t.Model.Tables,
+		Ranks:     1,
+	}
+	for _, p := range t.Model.DenseParams() {
+		st.Dense = append(st.Dense, p.Value)
+	}
+	if t.adagrad != nil {
+		st.DenseAccum = t.adagrad.Accum()
+		for _, s := range t.sparseA {
+			st.SparseAccum = append(st.SparseAccum, s.Accum())
+		}
+	}
+	return st
+}
+
+// DirtyRows returns the per-table touched-row trackers the trainer feeds
+// on every step (aligned with Model.Tables). ckpt.Store delta saves
+// consume and reset them.
+func (t *Trainer) DirtyRows() []*ckpt.Dirty { return t.dirty }
+
+// SaveCheckpoint writes a checkpoint of the trainer into store,
+// delegating the full-vs-delta choice to ckpt.Store.AutoSave: full when
+// the store is empty or the delta chain has fullEvery links, incremental
+// (touched rows only) otherwise.
+func (t *Trainer) SaveCheckpoint(store *ckpt.Store, fullEvery int) (ckpt.SaveInfo, error) {
+	return store.AutoSave(t.CkptState(), t.dirty, fullEvery)
+}
+
+// RestoreCheckpoint rebuilds the trainer's parameters, optimizer state,
+// and step counter from the latest checkpoint in store. Training resumed
+// from the restored state replays the exact uninterrupted loss curve
+// (bit-identical) when the batch stream is replayed from the same step.
+func (t *Trainer) RestoreCheckpoint(store *ckpt.Store) (ckpt.RestoreInfo, error) {
+	st := t.CkptState()
+	info, err := store.Restore(st)
+	if err != nil {
+		return info, err
+	}
+	t.iter = st.Step
+	// The restored state matches the checkpoint tip exactly, so rows
+	// touched since (and now reverted) need not ride the next delta.
+	for _, d := range t.dirty {
+		d.Reset()
+	}
+	return info, nil
+}

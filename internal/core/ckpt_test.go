@@ -1,0 +1,123 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/xrand"
+)
+
+func ckptTestCfg() core.Config {
+	return core.Config{
+		Name:          "ckpt-test",
+		DenseFeatures: 16,
+		Sparse:        core.UniformSparse(4, 500, 4),
+		EmbeddingDim:  8,
+		BottomMLP:     []int{32},
+		TopMLP:        []int{32, 16},
+		Interaction:   core.DotProduct,
+	}
+}
+
+func newCkptTrainer(cfg core.Config, opt core.OptimizerKind) *core.Trainer {
+	m := core.NewModel(cfg, xrand.New(1))
+	return core.NewTrainer(m, core.TrainerConfig{Optimizer: opt, LR: 0.05})
+}
+
+// TestResumeBitIdentical pins the single-process durability contract:
+// save at step k, rebuild a fresh trainer from the same seed, restore,
+// replay the batch stream from step k — the tail of the loss curve must
+// be bit-identical to the uninterrupted run.
+func TestResumeBitIdentical(t *testing.T) {
+	for _, opt := range []core.OptimizerKind{core.OptAdagrad, core.OptSGD} {
+		t.Run(string(opt), func(t *testing.T) {
+			cfg := ckptTestCfg()
+			const steps, mid, batch = 20, 10, 32
+
+			// Uninterrupted reference run.
+			ref := newCkptTrainer(cfg, opt)
+			gen := data.NewGenerator(cfg, 7, data.DefaultOptions())
+			want := make([]float64, steps)
+			for i := range want {
+				want[i] = ref.Step(gen.NextBatch(batch))
+			}
+
+			// Interrupted run: checkpoint at mid, then abandon the trainer.
+			store, err := ckpt.OpenStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := newCkptTrainer(cfg, opt)
+			gen = data.NewGenerator(cfg, 7, data.DefaultOptions())
+			for i := 0; i < mid; i++ {
+				if got := tr.Step(gen.NextBatch(batch)); got != want[i] {
+					t.Fatalf("step %d: loss diverged before checkpoint", i)
+				}
+			}
+			if _, err := tr.SaveCheckpoint(store, 0); err != nil {
+				t.Fatal(err)
+			}
+
+			// Resume in a fresh trainer (fresh model, same architecture).
+			tr2 := newCkptTrainer(cfg, opt)
+			info, err := tr2.RestoreCheckpoint(store)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Step != mid || tr2.Iter() != mid {
+				t.Fatalf("restored step = %d/%d, want %d", info.Step, tr2.Iter(), mid)
+			}
+			for i := mid; i < steps; i++ {
+				if got := tr2.Step(gen.NextBatch(batch)); got != want[i] {
+					t.Fatalf("step %d: resumed loss %v != uninterrupted %v", i, got, want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDeltaResumeBitIdentical resumes from the tip of a delta chain
+// (full + two incrementals) and must land on the same curve.
+func TestDeltaResumeBitIdentical(t *testing.T) {
+	cfg := ckptTestCfg()
+	const steps, batch = 18, 32
+
+	ref := newCkptTrainer(cfg, core.OptAdagrad)
+	gen := data.NewGenerator(cfg, 7, data.DefaultOptions())
+	want := make([]float64, steps)
+	for i := range want {
+		want[i] = ref.Step(gen.NextBatch(batch))
+	}
+
+	store, err := ckpt.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := newCkptTrainer(cfg, core.OptAdagrad)
+	gen = data.NewGenerator(cfg, 7, data.DefaultOptions())
+	for i := 0; i < 12; i++ {
+		tr.Step(gen.NextBatch(batch))
+		if (i+1)%4 == 0 {
+			// fullEvery=10 keeps saves 2 and 3 incremental.
+			if _, err := tr.SaveCheckpoint(store, 10); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	tr2 := newCkptTrainer(cfg, core.OptAdagrad)
+	info, err := tr2.RestoreCheckpoint(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Step != 12 || info.Chain != 3 {
+		t.Fatalf("restored step %d applied %d checkpoints, want step 12 via full+2 deltas", info.Step, info.Chain)
+	}
+	for i := 12; i < steps; i++ {
+		if got := tr2.Step(gen.NextBatch(batch)); got != want[i] {
+			t.Fatalf("step %d: delta-resumed loss %v != %v", i, got, want[i])
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/ckpt"
 	"repro/internal/nn"
 	"repro/internal/optim"
 	"repro/internal/telemetry"
@@ -40,7 +41,8 @@ type Trainer struct {
 	sparseA []*optim.RowWiseAdagrad
 	sched   optim.WarmupSchedule
 	iter    int
-	gradBuf []float32 // reusable logit-gradient buffer
+	gradBuf []float32     // reusable logit-gradient buffer
+	dirty   []*ckpt.Dirty // per-table touched rows since the last checkpoint
 
 	trace      *telemetry.Tracer
 	traceShard int
@@ -71,6 +73,9 @@ func NewTrainer(m *Model, cfg TrainerConfig) *Trainer {
 		}
 	default:
 		panic(fmt.Sprintf("core: unknown optimizer %q", cfg.Optimizer))
+	}
+	for _, tab := range m.Tables {
+		t.dirty = append(t.dirty, ckpt.NewDirty(tab.HashSize))
 	}
 	return t
 }
@@ -120,6 +125,7 @@ func (t *Trainer) Step(b *MiniBatch) float64 {
 		for i, s := range t.sparseS {
 			s.LR = float32(t.cfg.SparseLR) * scale
 			s.Apply(sparseGrads[i])
+			t.dirty[i].Mark(sparseGrads[i].RowIDs())
 		}
 	case OptAdagrad:
 		t.adagrad.LR = float32(lr)
@@ -128,6 +134,7 @@ func (t *Trainer) Step(b *MiniBatch) float64 {
 		for i, s := range t.sparseA {
 			s.LR = float32(t.cfg.SparseLR) * scale
 			s.Apply(sparseGrads[i])
+			t.dirty[i].Mark(sparseGrads[i].RowIDs())
 		}
 	}
 	t.trace.End(t.traceShard, tok)

@@ -52,6 +52,7 @@ var registry = map[string]struct {
 	"fig13":                 {"Fig 13: throughput under varying MLP dimensions", fig13},
 	"fig14":                 {"Fig 14: embedding placements on Big Basin vs Zion (M2prod)", fig14},
 	"fig15":                 {"Fig 15: accuracy loss vs batch size after manual tuning", fig15},
+	"elastic_recovery":      {"Elastic recovery: kill/restore/rejoin wall time, bytes restored, loss bit-identity (1/2/4 ranks)", elasticRecovery},
 	"hybrid_scaling":        {"Hybrid-parallel scaling: ranks x batch comm/compute breakdown (real collectives)", hybridScaling},
 	"ingest_scaling":        {"Ingestion scaling: readers per trainer, reader-bound vs trainer-bound crossover + RecD dedup", ingestScaling},
 	"memtier":               {"Tiered memory: cache capacity vs hit rate vs throughput (MTrainS-style)", memtierSweep},

@@ -7,8 +7,8 @@ import (
 
 func TestIDsStable(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 20 {
-		t.Fatalf("%d experiments registered, want 20", len(ids))
+	if len(ids) != 21 {
+		t.Fatalf("%d experiments registered, want 21", len(ids))
 	}
 	for _, id := range ids {
 		if Title(id) == "" {
@@ -82,6 +82,24 @@ func TestTelemetryAttributionAcceptance(t *testing.T) {
 	}
 	if strings.Contains(res.Output, "WARNING") {
 		t.Errorf("attribution acceptance failed:\n%s", res.Output)
+	}
+}
+
+// TestElasticRecoveryAcceptance pins the elastic_recovery acceptance
+// shape: every rank count recovers exactly once, restores verified
+// bytes, and lands on a bit-identical curve (no DIVERGED verdict).
+func TestElasticRecoveryAcceptance(t *testing.T) {
+	res, err := Run("elastic_recovery", Options{Quick: true, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(res.Output, "bit-identical"); n < 3 {
+		t.Errorf("want 3 bit-identical verdicts (1/2/4 ranks), got %d:\n%s", n, res.Output)
+	}
+	for _, bad := range []string{"DIVERGED", "WARNING"} {
+		if strings.Contains(res.Output, bad) {
+			t.Errorf("elastic_recovery output contains %q:\n%s", bad, res.Output)
+		}
 	}
 }
 

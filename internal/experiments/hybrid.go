@@ -52,7 +52,7 @@ func hybridScaling(opt Options) (Result, error) {
 			var lossSum, stepSec, comp, a2a, ar, exposed float64
 			var a2aBytes, arBytes int64
 			for i := 0; i < iters; i++ {
-				loss, bd := ht.Step(gen.NextBatch(batch))
+				loss, bd, _ := ht.Step(gen.NextBatch(batch))
 				lossSum += loss
 				stepSec += bd.Step
 				comp += bd.Compute

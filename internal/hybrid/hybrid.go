@@ -35,6 +35,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/embedding"
@@ -155,6 +156,8 @@ type Trainer struct {
 	bounds []int // rank r owns examples [bounds[r], bounds[r+1])
 	wg     sync.WaitGroup
 	closed bool
+	failed error         // sticky first step error; Step refuses afterwards
+	dirty  []*ckpt.Dirty // per-table touched rows since the last checkpoint
 
 	// registry-backed step counters (critical-path ns, accumulated per
 	// Step) — the StepBreakdown return stays the per-step view, these
@@ -228,6 +231,9 @@ func New(cfg core.Config, hc Config) (*Trainer, error) {
 		t.owner[ti] = rk
 		t.ownedBy[rk] = append(t.ownedBy[rk], ti)
 	}
+	for _, tab := range t.tables {
+		t.dirty = append(t.dirty, ckpt.NewDirty(tab.HashSize))
+	}
 
 	main, side := t.world.NewGroup(), t.world.NewGroup()
 	for id := 0; id < hc.Ranks; id++ {
@@ -251,7 +257,7 @@ func New(cfg core.Config, hc Config) (*Trainer, error) {
 			sendB:        make([][]float32, hc.Ranks),
 			recvB:        make([][]float32, hc.Ranks),
 			work:         make(chan float64, 1),
-			arDone:       make(chan struct{}, 1),
+			arDone:       make(chan error, 1),
 			curB:         -1,
 			shard:        hc.TraceShard + id,
 			bgShard:      hc.TraceShard + hc.Ranks + id,
@@ -307,9 +313,18 @@ func (t *Trainer) Registry() *telemetry.Registry { return t.reg }
 // carry at least one example per rank. At steady state (fixed batch size)
 // the per-rank work performs zero heap allocations; every buffer lives in
 // rank-owned arenas resized only when the batch size changes.
-func (t *Trainer) Step(b *core.MiniBatch) (float64, StepBreakdown) {
+//
+// A non-nil error means the world aborted mid-step — an injected
+// collective fault (collective.RankError) or AbortAll. The trainer is
+// then poisoned: parameter state may be torn across ranks, every later
+// Step returns the same error, and recovery goes through Restore
+// (rebuild + checkpoint rollback).
+func (t *Trainer) Step(b *core.MiniBatch) (float64, StepBreakdown, error) {
 	if t.closed {
 		panic("hybrid: Step after Close")
+	}
+	if t.failed != nil {
+		return 0, StepBreakdown{}, t.failed
 	}
 	B := b.Batch()
 	n := t.HC.Ranks
@@ -323,11 +338,18 @@ func (t *Trainer) Step(b *core.MiniBatch) (float64, StepBreakdown) {
 
 	before := t.world.Snapshot()
 	lr := t.sched.At(t.iter)
+	t.world.BeginStep(t.iter) // faults scheduled for this step become due
 	t.wg.Add(n)
 	for _, r := range t.ranks {
 		r.work <- lr
 	}
 	t.wg.Wait()
+	for _, r := range t.ranks {
+		if r.err != nil {
+			t.failed = r.err
+			return 0, StepBreakdown{}, t.failed
+		}
+	}
 	after := t.world.Snapshot()
 	t.iter++
 
@@ -352,8 +374,11 @@ func (t *Trainer) Step(b *core.MiniBatch) (float64, StepBreakdown) {
 	t.a2aNs.Add(int64(bd.AllToAll * 1e9))
 	t.arNs.Add(int64(bd.AllReduce * 1e9))
 	t.exposedNs.Add(int64(bd.Exposed * 1e9))
-	return loss, bd
+	return loss, bd, nil
 }
+
+// Err returns the error that poisoned the trainer, or nil while healthy.
+func (t *Trainer) Err() error { return t.failed }
 
 // TrainFrom drives the hybrid trainer from a BatchSource for up to iters
 // synchronous steps (every step recycles its batch), returning the mean
@@ -376,7 +401,11 @@ func (t *Trainer) TrainFrom(src core.BatchSource, iters int) (meanLoss float64, 
 			src.Recycle(b)
 			continue
 		}
-		loss, bd := t.Step(b)
+		loss, bd, err := t.Step(b)
+		if err != nil {
+			src.Recycle(b)
+			return 0, total, steps, err
+		}
 		src.Recycle(b)
 		sum += loss
 		total.Compute += bd.Compute
@@ -451,7 +480,7 @@ type rank struct {
 	denseView    tensor.Matrix
 
 	work   chan float64 // learning rate for the step; closed by Close
-	arDone chan struct{}
+	arDone chan error
 
 	// tracer shards: the rank goroutine writes step spans onto shard;
 	// the overlapped all-reduce goroutine writes onto bgShard.
@@ -459,6 +488,7 @@ type rank struct {
 
 	// per-step outputs
 	loss                float64
+	err                 error // collective abort, if the step failed
 	tCompute, tA2A, tAR time.Duration
 	arWait, tStep       time.Duration
 	tARBg               time.Duration // all-reduce duration when overlapped
@@ -466,7 +496,7 @@ type rank struct {
 
 func (r *rank) loop() {
 	for lr := range r.work {
-		r.step(lr)
+		r.err = r.step(lr)
 		r.t.wg.Done()
 	}
 }
@@ -506,7 +536,11 @@ func (r *rank) ensure(B int) {
 // timing reads the telemetry clock — one monotonic base shared with the
 // ingest meters and every span — and the boundary marks double as span
 // edges, so the recorded phases tile the step with no gaps.
-func (r *rank) step(lr float64) {
+//
+// A non-nil error is a collective abort (fault injection or AbortAll):
+// the step bails out wherever it was, leaving rank state torn — the
+// trainer surfaces the error and recovery rolls back to a checkpoint.
+func (r *rank) step(lr float64) error {
 	t := r.t
 	b := t.batch
 	n := t.HC.Ranks
@@ -546,7 +580,9 @@ func (r *rank) step(lr float64) {
 	// 3. Forward all-to-all of pooled embedding rows.
 	ts := telemetry.Now()
 	trace.Emit(r.shard, telemetry.PhaseEmbLookup, start, ts)
-	r.main.AllToAllV(r.id, r.sendF, r.recvF)
+	if err := r.main.AllToAllV(r.id, r.sendF, r.recvF); err != nil {
+		return err
+	}
 	te := telemetry.Now()
 	a2a += te - ts
 	trace.Emit(r.shard, telemetry.PhaseAllToAll, ts, te)
@@ -602,35 +638,50 @@ func (r *rank) step(lr float64) {
 	if t.HC.Overlap && n > 1 {
 		go func() {
 			t0 := telemetry.Now()
-			r.allReduceBuckets()
+			err := r.allReduceBuckets()
 			t1 := telemetry.Now()
 			r.tARBg = time.Duration(t1 - t0)
 			trace.Emit(r.bgShard, telemetry.PhaseAllReduce, t0, t1)
-			r.arDone <- struct{}{}
+			r.arDone <- err
 		}()
 		ts = telemetry.Now()
-		r.side.AllToAllV(r.id, r.sendB, r.recvB)
+		sideErr := r.side.AllToAllV(r.id, r.sendB, r.recvB)
 		te = telemetry.Now()
 		a2a += te - ts
 		trace.Emit(r.shard, telemetry.PhaseAllToAll, ts, te)
-		r.applySparse(lr)
+		if sideErr == nil {
+			r.applySparse(lr)
+		}
 		ts = telemetry.Now()
 		trace.Emit(r.shard, telemetry.PhaseSparseScatter, te, ts)
-		<-r.arDone
+		// Always drain the background all-reduce; an abort unblocks it,
+		// so the send happens even on a torn step.
+		arErr := <-r.arDone
 		te = telemetry.Now()
 		arWait = te - ts
 		trace.Emit(r.shard, telemetry.PhaseAllReduce, ts, te)
 		ar = int64(r.tARBg)
 		tOptStart = te
+		if sideErr != nil {
+			return sideErr
+		}
+		if arErr != nil {
+			return arErr
+		}
 	} else {
 		ts = telemetry.Now()
-		r.allReduceBuckets()
+		arErr := r.allReduceBuckets()
 		te = telemetry.Now()
 		ar = te - ts
 		arWait = ar
 		trace.Emit(r.shard, telemetry.PhaseAllReduce, ts, te)
+		if arErr != nil {
+			return arErr
+		}
 		ts = telemetry.Now()
-		r.side.AllToAllV(r.id, r.sendB, r.recvB)
+		if err := r.side.AllToAllV(r.id, r.sendB, r.recvB); err != nil {
+			return err
+		}
 		te = telemetry.Now()
 		a2a += te - ts
 		trace.Emit(r.shard, telemetry.PhaseAllToAll, ts, te)
@@ -663,11 +714,12 @@ func (r *rank) step(lr float64) {
 	r.tAR = time.Duration(ar)
 	r.arWait = time.Duration(arWait)
 	r.tCompute = r.tStep - r.tA2A - r.arWait
+	return nil
 }
 
 // allReduceBuckets ring-all-reduces the flattened dense gradients in
 // BucketBytes chunks.
-func (r *rank) allReduceBuckets() {
+func (r *rank) allReduceBuckets() error {
 	bucket := r.t.HC.BucketBytes / 4
 	if bucket <= 0 {
 		bucket = len(r.flat)
@@ -677,8 +729,11 @@ func (r *rank) allReduceBuckets() {
 		if end > len(r.flat) {
 			end = len(r.flat)
 		}
-		r.main.AllReduce(r.id, r.flat[off:end])
+		if err := r.main.AllReduce(r.id, r.flat[off:end]); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // applySparse reassembles the global-order pooled-gradient matrix for
@@ -714,5 +769,8 @@ func (r *rank) applySparse(lr float64) {
 			r.sparseA[oi].LR = float32(t.HC.SparseLR) * scale
 			r.sparseA[oi].Apply(sg)
 		}
+		// Feed the delta-checkpoint tracker. Each table has exactly one
+		// owner, so trackers are rank-private here (no races).
+		t.dirty[ti].Mark(sg.RowIDs())
 	}
 }

@@ -46,7 +46,7 @@ func hybridLosses(t *testing.T, cfg core.Config, hc Config, steps, batch int) []
 	gen := data.NewGenerator(cfg, 7, data.DefaultOptions())
 	losses := make([]float64, steps)
 	for i := range losses {
-		losses[i], _ = ht.Step(gen.NextBatch(batch))
+		losses[i], _, _ = ht.Step(gen.NextBatch(batch))
 	}
 	return losses
 }
@@ -110,7 +110,7 @@ func hybridLossesDedup(t *testing.T, cfg core.Config, hc Config, steps, batch in
 	for i := range losses {
 		b := gen.NextBatch(batch)
 		b.AttachDedup()
-		losses[i], _ = ht.Step(b)
+		losses[i], _, _ = ht.Step(b)
 	}
 	return losses
 }
@@ -221,7 +221,7 @@ func TestBreakdownBytes(t *testing.T) {
 	}
 	defer ht.Close()
 	gen := data.NewGenerator(cfg, 7, data.DefaultOptions())
-	_, bd := ht.Step(gen.NextBatch(batch))
+	_, bd, _ := ht.Step(gen.NextBatch(batch))
 
 	d := cfg.EmbeddingDim
 	s := cfg.NumSparse()
@@ -253,13 +253,13 @@ func TestUnevenBatchAndFewTables(t *testing.T) {
 	defer ht.Close()
 	gen := data.NewGenerator(cfg, 11, data.DefaultOptions())
 	for i := 0; i < 5; i++ {
-		loss, _ := ht.Step(gen.NextBatch(13))
+		loss, _, _ := ht.Step(gen.NextBatch(13))
 		if math.IsNaN(loss) || math.IsInf(loss, 0) {
 			t.Fatalf("step %d: loss %v", i, loss)
 		}
 	}
 	// Batch sizes may change between steps; arenas must follow.
-	if loss, _ := ht.Step(gen.NextBatch(32)); math.IsNaN(loss) {
+	if loss, _, _ := ht.Step(gen.NextBatch(32)); math.IsNaN(loss) {
 		t.Fatal("resized batch produced NaN")
 	}
 }
@@ -277,7 +277,7 @@ func TestEvalModelLearns(t *testing.T) {
 	var first, last float64
 	const steps = 100
 	for i := 0; i < steps; i++ {
-		loss, _ := ht.Step(gen.NextBatch(64))
+		loss, _, _ := ht.Step(gen.NextBatch(64))
 		if i < 10 {
 			first += loss
 		}

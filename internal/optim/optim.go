@@ -61,6 +61,12 @@ func (a *Adagrad) Step() {
 	}
 }
 
+// Accum exposes the per-parameter squared-gradient accumulators (aligned
+// with the bound params). The slices alias live optimizer state: reading
+// them snapshots it, writing into them restores it — the checkpoint
+// export/import seam of internal/ckpt.
+func (a *Adagrad) Accum() [][]float32 { return a.accum }
+
 // SparseSGD applies per-row SGD updates to an embedding table from a
 // SparseGrad accumulator.
 type SparseSGD struct {
@@ -95,6 +101,11 @@ func NewRowWiseAdagrad(table *embedding.Table, lr float32) *RowWiseAdagrad {
 		accum: make([]float32, table.HashSize),
 	}
 }
+
+// Accum exposes the per-row mean-squared-gradient accumulator (length
+// HashSize). The slice aliases live optimizer state; internal/ckpt reads
+// it when checkpointing and writes into it on restore.
+func (r *RowWiseAdagrad) Accum() []float32 { return r.accum }
 
 // Apply updates the rows present in sg using the row-wise accumulator,
 // in first-touch order.

@@ -33,6 +33,8 @@ func phaseCategory(p Phase) string {
 		return "comm"
 	case PhaseStep:
 		return "step"
+	case PhaseCheckpoint, PhaseRestore:
+		return "durability"
 	default:
 		return "compute"
 	}

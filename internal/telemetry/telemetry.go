@@ -92,6 +92,13 @@ const (
 	PhaseSparseScatter
 	// PhaseOptimizer is the dense optimizer update.
 	PhaseOptimizer
+	// PhaseCheckpoint is a durable-checkpoint write (internal/ckpt):
+	// dense + touched-row serialization, hashing, and disk IO. It runs
+	// between steps, so attribution reports it outside step windows.
+	PhaseCheckpoint
+	// PhaseRestore is a checkpoint restore (manifest verification plus
+	// the base-and-delta chain replay into live parameters).
+	PhaseRestore
 
 	// NumPhases bounds the taxonomy (for fixed-size per-phase arrays).
 	NumPhases
@@ -112,6 +119,8 @@ var phaseNames = [NumPhases]string{
 	"all_reduce",
 	"sparse_scatter",
 	"optimizer",
+	"checkpoint",
+	"restore",
 }
 
 // String implements fmt.Stringer.

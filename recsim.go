@@ -2,7 +2,7 @@
 // reproduction of "Understanding Training Efficiency of Deep Learning
 // Recommendation Models at Scale" (HPCA 2021).
 //
-// It bundles seven capabilities:
+// It bundles eight capabilities:
 //
 //   - a real DLRM training stack (models, embedding tables, optimizers,
 //     synthetic click data, single-node and distributed trainers) whose
@@ -36,10 +36,19 @@
 //     registry absorbing every subsystem meter, Chrome trace_event and
 //     expvar/pprof exporters, and an attribution report joining observed
 //     span timings against the analytic perfmodel per phase;
+//   - durable checkpoint/restore and elastic fault tolerance
+//     (internal/ckpt): sharded content-hashed checkpoints (per-table
+//     embedding shards, dense replica, optimizer state) under a
+//     Merkle-verified manifest, SparseGrad-driven incremental deltas
+//     with periodic compaction, a fault-injection seam in the
+//     collectives, and a kill→restore→rejoin recovery loop whose
+//     resumed loss curve is bit-identical to an uninterrupted run;
 //   - runners that regenerate every table and figure of the paper's
 //     evaluation, plus an MTrainS-style tiered-memory sweep, a
-//     hybrid-parallel ranks × batch scaling study, and an
-//     observed-vs-predicted telemetry attribution study.
+//     hybrid-parallel ranks × batch scaling study, an
+//     observed-vs-predicted telemetry attribution study, and an
+//     elastic-recovery study (recovery wall time, bytes restored,
+//     loss-curve bit-identity across 1/2/4 ranks).
 //
 // Quick start:
 //
@@ -53,6 +62,7 @@ import (
 	"io"
 	"net/http"
 
+	"repro/internal/ckpt"
 	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/data"
@@ -184,6 +194,35 @@ type (
 	// critical-path wall time; Render joins it against an analytic
 	// prediction such as PredictedPhases.
 	AttributionReport = telemetry.Attribution
+	// CheckpointStore is a durable checkpoint directory: sharded,
+	// content-hashed full and incremental (touched-rows-only) checkpoints
+	// under Merkle-sealed manifests, written atomically and verified on
+	// restore.
+	CheckpointStore = ckpt.Store
+	// CheckpointManifest is one checkpoint's metadata: step, kind
+	// (full/delta), base chain pins, model fingerprint, per-shard hashes,
+	// and the Merkle root over them.
+	CheckpointManifest = ckpt.Manifest
+	// CheckpointSaveInfo summarizes one checkpoint write (kind, files,
+	// bytes, delta rows, Merkle root, wall time).
+	CheckpointSaveInfo = ckpt.SaveInfo
+	// RestoreInfo summarizes one restore (chain length applied, verified
+	// bytes moved, wall time).
+	RestoreInfo = ckpt.RestoreInfo
+	// FaultSchedule arms collective faults — rank kills, delays, failed
+	// ops — at exact (rank, step) points (ParseFaultSchedule builds one
+	// from "kill:1@120,delay:0@40+2ms" syntax). Fired entries stay fired,
+	// so a schedule shared across a recovery rebuild does not re-strike.
+	FaultSchedule = collective.FaultSchedule
+	// RankError is the error every rank's Step returns when a collective
+	// fault (or real rank death) aborts a synchronous step.
+	RankError = collective.RankError
+	// ElasticConfig drives RunElastic: trainer + checkpoint cadence +
+	// replayable batch-stream factory + fault schedule.
+	ElasticConfig = hybrid.ElasticConfig
+	// ElasticResult reports an elastic run: the loss curve, recovery
+	// count, recovery wall time, and verified bytes restored.
+	ElasticResult = hybrid.ElasticResult
 )
 
 // Placement strategies (Fig 8, plus the tiered-memory extension).
@@ -328,6 +367,37 @@ func NewHybridTrainer(cfg ModelConfig, hc HybridConfig) (*HybridTrainer, error) 
 	return hybrid.New(cfg, hc)
 }
 
+// OpenCheckpointStore opens (creating if needed) a durable checkpoint
+// directory. Both trainers save into it via SaveCheckpoint (full or
+// incremental, chosen by the store's compaction policy) and resume via
+// RestoreCheckpoint; every restore re-verifies shard hashes and the
+// manifest Merkle root.
+func OpenCheckpointStore(dir string) (*CheckpointStore, error) { return ckpt.OpenStore(dir) }
+
+// ParseFaultSchedule parses a collective fault schedule, e.g.
+// "kill:1@120,delay:0@40+2ms,fail:2@30" — kill rank 1 at step 120,
+// delay rank 0 by 2ms at step 40, fail rank 2's next op at step 30. Arm
+// it via HybridTrainer.SetFaults or ElasticConfig.Faults.
+func ParseFaultSchedule(s string) (*FaultSchedule, error) { return collective.ParseFaultSchedule(s) }
+
+// AsRankError extracts the failing rank from an error returned by a
+// faulted hybrid step.
+func AsRankError(err error) (*RankError, bool) { return collective.AsRankError(err) }
+
+// RunElastic trains with durable checkpoints and fault-tolerant
+// recovery: a rank fault rolls training back to the last checkpoint,
+// rebuilds the world, and replays the deterministic stream — the
+// recovered loss curve is bit-identical to an uninterrupted run.
+func RunElastic(ec ElasticConfig) (*ElasticResult, error) { return hybrid.RunElastic(ec) }
+
+// RestoreHybridTrainer builds a hybrid trainer and loads the latest
+// checkpoint in store — the resume path for cold starts and the rebuild
+// path after a fault (the new world may use a different rank count;
+// shards are keyed by table, so rejoin re-shards deterministically).
+func RestoreHybridTrainer(cfg ModelConfig, hc HybridConfig, store *CheckpointStore, fs *FaultSchedule) (*HybridTrainer, RestoreInfo, error) {
+	return hybrid.Restore(cfg, hc, store, fs)
+}
+
 // HybridLink derives the collective link model from a platform's
 // rank-to-rank interconnect (NVLink when present, otherwise the NIC).
 func HybridLink(platformName string) (CollectiveLink, error) {
@@ -417,7 +487,7 @@ func RunExperiment(id string, opt ExperimentOptions) (ExperimentResult, error) {
 }
 
 // Version identifies the reproduction release.
-const Version = "1.5.0"
+const Version = "1.6.0"
 
 // Describe returns a one-line summary of a model config.
 func Describe(cfg ModelConfig) string {

@@ -111,7 +111,7 @@ func TestPublicAPIHybridTraining(t *testing.T) {
 	var bd HybridStepBreakdown
 	for i := 0; i < 100; i++ {
 		var loss float64
-		loss, bd = ht.Step(gen.NextBatch(32))
+		loss, bd, _ = ht.Step(gen.NextBatch(32))
 		if i < 10 {
 			first += loss
 		}
@@ -133,6 +133,65 @@ func TestPublicAPIHybridTraining(t *testing.T) {
 	}
 	if st := ht.CollectiveStats(); st.AllToAll.Calls == 0 {
 		t.Error("collective meters empty")
+	}
+}
+
+// TestPublicAPIElasticCheckpoint drives the v1.6 durability surface: an
+// elastic run that survives a rank kill by rolling back to the last
+// checkpoint, then a rank-elastic restore of the same store into a
+// smaller world.
+func TestPublicAPIElasticCheckpoint(t *testing.T) {
+	cfg := ModelConfig{
+		Name:          "api-elastic",
+		DenseFeatures: 8,
+		Sparse:        UniformSparse(4, 200, 3),
+		EmbeddingDim:  8,
+		BottomMLP:     []int{16},
+		TopMLP:        []int{16},
+		Interaction:   InteractionDot,
+	}
+	store, err := OpenCheckpointStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults, err := ParseFaultSchedule("kill:1@10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps, batch = 16, 32
+	res, err := RunElastic(ElasticConfig{
+		Cfg:       cfg,
+		HC:        HybridConfig{Ranks: 2, LR: 0.05, Seed: 1},
+		Store:     store,
+		CkptEvery: 4,
+		FullEvery: 2,
+		Steps:     steps,
+		Source: func(skip int) (BatchSource, func(), error) {
+			gen := NewGenerator(cfg, 7)
+			for i := 0; i < skip; i++ {
+				gen.NextBatch(batch)
+			}
+			return gen.NewSource(batch), func() {}, nil
+		},
+		Faults: faults,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != steps || res.Recoveries != 1 {
+		t.Errorf("elastic run: %d steps, %d recoveries; want %d steps, 1 recovery", res.Steps, res.Recoveries, steps)
+	}
+	if res.BytesRestored == 0 || res.LastRoot == "" {
+		t.Errorf("recovery restored %d bytes, last root %q; want both non-empty", res.BytesRestored, res.LastRoot)
+	}
+
+	ht, info, err := RestoreHybridTrainer(cfg, HybridConfig{Ranks: 1, LR: 0.05, Seed: 1}, store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ht.Close()
+	if info.Step != steps || ht.Iter() != steps {
+		t.Errorf("single-rank rejoin at step %d (info %d), want %d", ht.Iter(), info.Step, steps)
 	}
 }
 
@@ -212,7 +271,7 @@ func TestPublicAPITieredPlacement(t *testing.T) {
 
 func TestPublicAPIExperiments(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 20 {
+	if len(ids) != 21 {
 		t.Fatalf("Experiments() = %d ids", len(ids))
 	}
 	res, err := RunExperiment("table1", ExperimentOptions{Quick: true})
