@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/benchreport"
@@ -40,10 +41,15 @@ func run(args []string, out io.Writer) error {
 	mintime := fs.Duration("mintime", time.Second, "measurement floor per benchmark")
 	bench := fs.String("bench", "", "only run benchmarks whose name contains this substring")
 	baseline := fs.String("baseline", "", "prior BENCH_*.json whose ns/op become the baseline")
+	compare := fs.String("compare", "", "diff two reports instead of benchmarking: old.json,new.json; exits non-zero on regression past tolerance")
 	note := fs.String("note", "", "free-form note recorded in the report")
 	httpAddr := fs.String("telemetry.http", "", "serve /metrics, /debug/vars and /debug/pprof on this address while benchmarks run")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *compare != "" {
+		return runCompare(*compare, out)
 	}
 
 	opts := benchreport.Options{MinTime: *mintime, Filter: *bench}
@@ -118,5 +124,23 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "\nreport written to %s\n", path)
+	return nil
+}
+
+// runCompare is the regression gate: diff two committed reports under
+// the default tolerance policy and fail (non-zero exit) on regression.
+func runCompare(spec string, out io.Writer) error {
+	oldPath, newPath, ok := strings.Cut(spec, ",")
+	if !ok || oldPath == "" || newPath == "" {
+		return fmt.Errorf("benchrun: -compare wants old.json,new.json, got %q", spec)
+	}
+	d, err := benchreport.CompareFiles(oldPath, newPath, benchreport.DefaultTolerance())
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, d.Render())
+	if d.Regressed() {
+		return fmt.Errorf("benchrun: %d benchmark(s) regressed past tolerance", len(d.Regressions))
+	}
 	return nil
 }

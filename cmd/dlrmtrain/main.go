@@ -89,16 +89,12 @@ func run(args []string, out io.Writer) error {
 	traceFile := fs.String("telemetry.trace", "", "write a Chrome trace_event JSON of the run to this file")
 	httpAddr := fs.String("telemetry.http", "", "serve /metrics, /debug/vars and /debug/pprof on this address for the run's duration")
 	report := fs.Bool("telemetry.report", false, "print the per-phase attribution report and ASCII timeline after training")
+	doctor := fs.Bool("telemetry.doctor", false, "diagnose the run after training: boundedness verdict, straggler analysis, ranked findings")
 	ckptDir := fs.String("ckpt.dir", "", "durable checkpoint directory (enables periodic checkpointing)")
 	ckptEvery := fs.Int("ckpt.every", 100, "iterations between checkpoints when -ckpt.dir is set")
 	resume := fs.Bool("resume", false, "resume from the latest checkpoint in -ckpt.dir before training")
 	faults := fs.String("faults", "", "collective fault schedule, e.g. kill:1@120,delay:0@40+2ms (hybrid mode, needs -ckpt.dir)")
 	if err := fs.Parse(args); err != nil {
-		return err
-	}
-
-	co, err := openCkpt(*ckptDir, *ckptEvery, *resume, *faults, *mode, *dataFlag)
-	if err != nil {
 		return err
 	}
 
@@ -115,7 +111,14 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	tel, err := newTelemetry(out, *traceFile, *httpAddr, *report, *mode, *ranks, *dataFlag, *readers)
+	tel, err := newTelemetry(out, *traceFile, *httpAddr, *report, *doctor, *mode, *ranks, *dataFlag, *readers)
+	if err != nil {
+		return err
+	}
+
+	// The checkpoint store opens after telemetry so its save/restore
+	// spans land on the tracer's dedicated "ckpt" shard.
+	co, err := openCkpt(*ckptDir, *ckptEvery, *resume, *faults, *mode, *dataFlag, tel)
 	if err != nil {
 		return err
 	}
@@ -134,7 +137,7 @@ func run(args []string, out io.Writer) error {
 	case "hybrid":
 		if co != nil && co.faults != nil {
 			fd.close()
-			return runHybridElastic(out, cfg, *batch, *iters, *lr, *seed, *ranks, *platform, co)
+			return runHybridElastic(out, cfg, *batch, *iters, *lr, *seed, *ranks, *platform, tel, co)
 		}
 		return runHybrid(out, cfg, fd, *batch, *iters, *lr, *seed, *ranks, *platform, tel, co)
 	default:
@@ -154,7 +157,7 @@ type ckptOpts struct {
 	faults *collective.FaultSchedule
 }
 
-func openCkpt(dir string, every int, resume bool, faults, mode, dataFlag string) (*ckptOpts, error) {
+func openCkpt(dir string, every int, resume bool, faults, mode, dataFlag string, tel *telem) (*ckptOpts, error) {
 	if dir == "" {
 		if resume {
 			return nil, fmt.Errorf("dlrmtrain: -resume needs -ckpt.dir")
@@ -167,7 +170,13 @@ func openCkpt(dir string, every int, resume bool, faults, mode, dataFlag string)
 	if every <= 0 {
 		return nil, fmt.Errorf("dlrmtrain: -ckpt.every must be positive, got %d", every)
 	}
-	store, err := ckpt.OpenStore(dir)
+	var store *ckpt.Store
+	var err error
+	if tel != nil {
+		store, err = ckpt.OpenStoreWith(dir, tel.reg, tel.tracer, tel.ckptShard)
+	} else {
+		store, err = ckpt.OpenStore(dir)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -195,12 +204,14 @@ type telem struct {
 	tracer    *telemetry.Tracer
 	reg       *telemetry.Registry
 	feedShard int
+	ckptShard int
 	traceFile string
 	report    bool
+	doctor    bool
 }
 
-func newTelemetry(out io.Writer, traceFile, httpAddr string, report bool, mode string, ranks int, dataFlag string, readers int) (*telem, error) {
-	if traceFile == "" && httpAddr == "" && !report {
+func newTelemetry(out io.Writer, traceFile, httpAddr string, report, doctor bool, mode string, ranks int, dataFlag string, readers int) (*telem, error) {
+	if traceFile == "" && httpAddr == "" && !report && !doctor {
 		return nil, nil
 	}
 	trainShards := 1
@@ -212,15 +223,19 @@ func newTelemetry(out io.Writer, traceFile, httpAddr string, report bool, mode s
 		feedShards = ingest.Options{Readers: readers}.ShardCount()
 	}
 	t := &telem{
-		tracer:    telemetry.NewTracer(trainShards+feedShards, 1<<15),
+		tracer:    telemetry.NewTracer(trainShards+feedShards+1, 1<<15),
 		reg:       telemetry.NewRegistry(),
 		feedShard: trainShards,
+		ckptShard: trainShards + feedShards,
 		traceFile: traceFile,
 		report:    report,
+		doctor:    doctor,
 	}
 	if mode != "hybrid" {
 		t.tracer.NameShard(0, "trainer")
 	}
+	t.tracer.NameShard(t.ckptShard, "ckpt")
+	telemetry.RegisterPhaseHists(t.reg, t.tracer)
 	if httpAddr != "" {
 		srv, err := telemetry.Serve(httpAddr, t.reg)
 		if err != nil {
@@ -243,6 +258,12 @@ func (t *telem) finish(out io.Writer, predicted map[telemetry.Phase]float64) err
 		fmt.Fprintf(out, "\nattribution (observed vs analytic perfmodel):\n%s", attr.Render(predicted))
 		fmt.Fprintf(out, "\ntimeline:\n%s", snap.Timeline(72))
 		fmt.Fprintf(out, "\nregistry snapshot:\n%s", t.reg.Snapshot().Render())
+	}
+	if t.doctor {
+		rep := telemetry.Diagnose(telemetry.DoctorInput{
+			Snap: snap, Metrics: t.reg.Snapshot(), Predicted: predicted,
+		})
+		fmt.Fprintf(out, "\n%s", rep.Render())
 	}
 	if t.traceFile != "" {
 		f, err := os.Create(t.traceFile)
@@ -473,7 +494,7 @@ func runHybrid(out io.Writer, cfg core.Config, fd *feed, batch, iters int, lr fl
 // checkpoint in -ckpt.dir, the world rebuilds, and the deterministic
 // synthetic stream replays — so the final loss curve matches an
 // uninterrupted run bit-for-bit.
-func runHybridElastic(out io.Writer, cfg core.Config, batch, iters int, lr float64, seed int64, ranks int, platform string, co *ckptOpts) error {
+func runHybridElastic(out io.Writer, cfg core.Config, batch, iters int, lr float64, seed int64, ranks int, platform string, tel *telem, co *ckptOpts) error {
 	p, err := hw.ByName(platform)
 	if err != nil {
 		return err
@@ -481,9 +502,13 @@ func runHybridElastic(out io.Writer, cfg core.Config, batch, iters int, lr float
 	link := collective.LinkFor(p)
 	fmt.Fprintf(out, "hybrid: %d ranks, link %s, elastic (%d scheduled faults, checkpoint every %d iters)\n",
 		ranks, link.Name, co.faults.Len(), co.every)
+	hc := hybrid.Config{Ranks: ranks, LR: lr, Seed: seed, Overlap: ranks > 1, Link: link}
+	if tel != nil {
+		hc.Registry, hc.Trace, hc.TraceShard = tel.reg, tel.tracer, 0
+	}
 	res, err := hybrid.RunElastic(hybrid.ElasticConfig{
 		Cfg:       cfg,
-		HC:        hybrid.Config{Ranks: ranks, LR: lr, Seed: seed, Overlap: ranks > 1, Link: link},
+		HC:        hc,
 		Store:     co.store,
 		CkptEvery: co.every,
 		FullEvery: fullCompactEvery,
@@ -510,7 +535,7 @@ func runHybridElastic(out io.Writer, cfg core.Config, batch, iters int, lr float
 	fmt.Fprintf(out, "elastic: %d steps, final loss %.4f, %d recoveries (%v rebuild+restore, %s restored), %d checkpoints\n",
 		res.Steps, last, res.Recoveries, res.RecoveryWall.Round(time.Millisecond),
 		core.HumanBytes(res.BytesRestored), res.Saves)
-	return nil
+	return tel.finish(out, predictedPhases(cfg, p, batch))
 }
 
 // predictedPhases estimates the analytic per-phase step time for the

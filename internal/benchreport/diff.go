@@ -1,0 +1,193 @@
+package benchreport
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Tolerance is the noise policy of the regression gate. The committed
+// BENCH files are min-of-three-windows numbers from shared CI VMs, so
+// single-digit percent drift between runs is expected; the gate fires
+// only past these bounds.
+type Tolerance struct {
+	// MaxThroughputDropPct fails a benchmark whose examples/sec fell by
+	// more than this percentage.
+	MaxThroughputDropPct float64
+	// MaxSlowdownPct fails a benchmark without an examples/sec figure
+	// whose ns/op grew by more than this percentage.
+	MaxSlowdownPct float64
+	// MinNsPerOp is the noise floor: specs faster than this in the old
+	// report are reported but never gated (micro-kernels jitter).
+	MinNsPerOp float64
+	// MaxAllocIncrease is the absolute allocs/op slack. Independently, a
+	// benchmark that was allocation-free (<0.5 allocs/op) and no longer
+	// is always fails — zero-alloc budgets are exact contracts here.
+	MaxAllocIncrease float64
+}
+
+// DefaultTolerance is the CI gate policy: >10% examples/sec regression
+// fails (the ISSUE-mandated bound), >15% ns/op slowdown fails for
+// non-throughput specs, and zero-alloc contracts are exact.
+func DefaultTolerance() Tolerance {
+	return Tolerance{
+		MaxThroughputDropPct: 10,
+		MaxSlowdownPct:       15,
+		MinNsPerOp:           500,
+		MaxAllocIncrease:     16,
+	}
+}
+
+// DiffEntry is one benchmark's old-vs-new comparison.
+type DiffEntry struct {
+	Name      string
+	OldNs     float64
+	NewNs     float64
+	NsPct     float64 // ns/op change, + is slower
+	OldExSec  float64
+	NewExSec  float64
+	ExPct     float64 // examples/sec change, + is faster
+	OldAllocs float64
+	NewAllocs float64
+	// Status: "ok", "improved", "REGRESSED", "info" (below the noise
+	// floor), "new", "removed".
+	Status string
+	Reason string
+}
+
+// Diff is the comparison of two reports under a tolerance policy.
+type Diff struct {
+	OldStamp, NewStamp string
+	Tol                Tolerance
+	Entries            []DiffEntry
+	Regressions        []string
+}
+
+// Regressed reports whether any gated benchmark regressed.
+func (d Diff) Regressed() bool { return len(d.Regressions) > 0 }
+
+// pct returns the percent change from old to new (0 when old is 0).
+func pct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return 100 * (new - old) / old
+}
+
+// Compare diffs two benchmark reports benchmark-by-benchmark. Specs
+// present in only one report are listed (Status "new"/"removed") but
+// never gated; the gate judges only the intersection.
+func Compare(old, new Report, tol Tolerance) Diff {
+	d := Diff{OldStamp: old.Timestamp, NewStamp: new.Timestamp, Tol: tol}
+	oldBy := map[string]Result{}
+	for _, b := range old.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	seen := map[string]bool{}
+	for _, nb := range new.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			d.Entries = append(d.Entries, DiffEntry{Name: nb.Name, NewNs: nb.NsPerOp,
+				NewExSec: nb.ExamplesPerSec, NewAllocs: nb.AllocsPerOp, Status: "new"})
+			continue
+		}
+		seen[nb.Name] = true
+		e := DiffEntry{
+			Name: nb.Name, OldNs: ob.NsPerOp, NewNs: nb.NsPerOp,
+			NsPct:    pct(ob.NsPerOp, nb.NsPerOp),
+			OldExSec: ob.ExamplesPerSec, NewExSec: nb.ExamplesPerSec,
+			ExPct:     pct(ob.ExamplesPerSec, nb.ExamplesPerSec),
+			OldAllocs: ob.AllocsPerOp, NewAllocs: nb.AllocsPerOp,
+			Status: "ok",
+		}
+		var reasons []string
+		switch {
+		case ob.ExamplesPerSec > 0 && nb.ExamplesPerSec > 0:
+			if e.ExPct < -tol.MaxThroughputDropPct {
+				reasons = append(reasons, fmt.Sprintf("examples/sec %.1f%% (limit -%.0f%%)", e.ExPct, tol.MaxThroughputDropPct))
+			} else if e.ExPct > tol.MaxThroughputDropPct {
+				e.Status = "improved"
+			}
+		case ob.NsPerOp < tol.MinNsPerOp:
+			e.Status = "info"
+		default:
+			if e.NsPct > tol.MaxSlowdownPct {
+				reasons = append(reasons, fmt.Sprintf("ns/op +%.1f%% (limit +%.0f%%)", e.NsPct, tol.MaxSlowdownPct))
+			} else if e.NsPct < -tol.MaxSlowdownPct {
+				e.Status = "improved"
+			}
+		}
+		if ob.AllocsPerOp < 0.5 && nb.AllocsPerOp >= 0.5 {
+			reasons = append(reasons, fmt.Sprintf("was allocation-free, now %.1f allocs/op", nb.AllocsPerOp))
+		} else if nb.AllocsPerOp > ob.AllocsPerOp+tol.MaxAllocIncrease {
+			reasons = append(reasons, fmt.Sprintf("allocs/op %.1f -> %.1f (slack %.0f)", ob.AllocsPerOp, nb.AllocsPerOp, tol.MaxAllocIncrease))
+		}
+		if len(reasons) > 0 {
+			e.Status = "REGRESSED"
+			e.Reason = strings.Join(reasons, "; ")
+			d.Regressions = append(d.Regressions, e.Name+": "+e.Reason)
+		}
+		d.Entries = append(d.Entries, e)
+	}
+	for _, ob := range old.Benchmarks {
+		if !seen[ob.Name] {
+			d.Entries = append(d.Entries, DiffEntry{Name: ob.Name, OldNs: ob.NsPerOp,
+				OldExSec: ob.ExamplesPerSec, OldAllocs: ob.AllocsPerOp, Status: "removed"})
+		}
+	}
+	return d
+}
+
+// Render formats the diff as the gate's human-readable table.
+func (d Diff) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bench diff: %s -> %s\n", d.OldStamp, d.NewStamp)
+	fmt.Fprintf(&b, "tolerances: examples/sec -%.0f%%, ns/op +%.0f%% (floor %s ns), allocs +%.0f (zero-alloc exact)\n",
+		d.Tol.MaxThroughputDropPct, d.Tol.MaxSlowdownPct, metrics.F(d.Tol.MinNsPerOp), d.Tol.MaxAllocIncrease)
+	rows := [][]string{{"benchmark", "ns/op old", "ns/op new", "Δns %", "ex/s old", "ex/s new", "Δex %", "status"}}
+	for _, e := range d.Entries {
+		ex := func(v float64) string {
+			if v == 0 {
+				return "-"
+			}
+			return metrics.F(v)
+		}
+		rows = append(rows, []string{
+			e.Name, ex(e.OldNs), ex(e.NewNs), fmt.Sprintf("%+.1f", e.NsPct),
+			ex(e.OldExSec), ex(e.NewExSec), fmt.Sprintf("%+.1f", e.ExPct), e.Status,
+		})
+	}
+	b.WriteString(metrics.Table(rows))
+	if len(d.Regressions) > 0 {
+		b.WriteString("\nregressions:\n")
+		for _, r := range d.Regressions {
+			b.WriteString("  " + r + "\n")
+		}
+	} else {
+		b.WriteString("\nno regressions past tolerance\n")
+	}
+	return b.String()
+}
+
+// CompareFiles reads two BENCH_*.json files and diffs them (old, new).
+func CompareFiles(oldPath, newPath string, tol Tolerance) (Diff, error) {
+	read := func(p string) (Report, error) {
+		f, err := os.Open(p)
+		if err != nil {
+			return Report{}, fmt.Errorf("benchreport: %w", err)
+		}
+		defer f.Close()
+		return ReadJSON(f)
+	}
+	o, err := read(oldPath)
+	if err != nil {
+		return Diff{}, err
+	}
+	n, err := read(newPath)
+	if err != nil {
+		return Diff{}, err
+	}
+	return Compare(o, n, tol), nil
+}

@@ -1,0 +1,126 @@
+package benchreport
+
+import (
+	"strings"
+	"testing"
+)
+
+func diffReport(results ...Result) Report {
+	return Report{Timestamp: "t", Benchmarks: results}
+}
+
+func entryByName(t *testing.T, d Diff, name string) DiffEntry {
+	t.Helper()
+	for _, e := range d.Entries {
+		if e.Name == name {
+			return e
+		}
+	}
+	t.Fatalf("no diff entry %q", name)
+	return DiffEntry{}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	old := diffReport(
+		Result{Name: "train_step", NsPerOp: 1e6, ExamplesPerSec: 128000, AllocsPerOp: 0},
+		Result{Name: "gemm", NsPerOp: 40000, AllocsPerOp: 0},
+	)
+	new := diffReport(
+		Result{Name: "train_step", NsPerOp: 1.05e6, ExamplesPerSec: 121000, AllocsPerOp: 0}, // -5.5% ex/s: noise
+		Result{Name: "gemm", NsPerOp: 44000, AllocsPerOp: 0},                                // +10% ns: noise
+	)
+	d := Compare(old, new, DefaultTolerance())
+	if d.Regressed() {
+		t.Fatalf("drift within tolerance flagged as regression: %v", d.Regressions)
+	}
+}
+
+func TestCompareThroughputRegression(t *testing.T) {
+	old := diffReport(Result{Name: "train_step", NsPerOp: 1e6, ExamplesPerSec: 128000})
+	new := diffReport(Result{Name: "train_step", NsPerOp: 1.18e6, ExamplesPerSec: 108800}) // -15%
+	d := Compare(old, new, DefaultTolerance())
+	if !d.Regressed() {
+		t.Fatal("15% examples/sec drop not flagged (gate bound is 10%)")
+	}
+	e := entryByName(t, d, "train_step")
+	if e.Status != "REGRESSED" || !strings.Contains(e.Reason, "examples/sec") {
+		t.Fatalf("entry = %+v, want REGRESSED on examples/sec", e)
+	}
+}
+
+func TestCompareNsRegressionWithoutThroughput(t *testing.T) {
+	old := diffReport(Result{Name: "emb_lookup", NsPerOp: 50000})
+	new := diffReport(Result{Name: "emb_lookup", NsPerOp: 60000}) // +20%
+	d := Compare(old, new, DefaultTolerance())
+	if !d.Regressed() {
+		t.Fatal("20% ns/op slowdown not flagged (gate bound is 15%)")
+	}
+}
+
+func TestCompareNoiseFloorInfoOnly(t *testing.T) {
+	// Micro-kernels under the noise floor are reported but never gated,
+	// however bad the ratio looks.
+	old := diffReport(Result{Name: "tiny_kernel", NsPerOp: 80})
+	new := diffReport(Result{Name: "tiny_kernel", NsPerOp: 240})
+	d := Compare(old, new, DefaultTolerance())
+	if d.Regressed() {
+		t.Fatalf("sub-floor benchmark gated: %v", d.Regressions)
+	}
+	if e := entryByName(t, d, "tiny_kernel"); e.Status != "info" {
+		t.Fatalf("status %q, want info", e.Status)
+	}
+}
+
+func TestCompareZeroAllocContractExact(t *testing.T) {
+	// A benchmark that was allocation-free must stay so: one new
+	// alloc/op fails even though it is far below the absolute slack.
+	old := diffReport(Result{Name: "hybrid_step", NsPerOp: 2e6, ExamplesPerSec: 60000, AllocsPerOp: 0})
+	new := diffReport(Result{Name: "hybrid_step", NsPerOp: 2e6, ExamplesPerSec: 60000, AllocsPerOp: 1})
+	d := Compare(old, new, DefaultTolerance())
+	if !d.Regressed() {
+		t.Fatal("broken zero-alloc contract not flagged")
+	}
+	// Already-allocating benchmarks get the absolute slack instead.
+	old = diffReport(Result{Name: "ingest_step", NsPerOp: 2e6, ExamplesPerSec: 60000, AllocsPerOp: 8})
+	new = diffReport(Result{Name: "ingest_step", NsPerOp: 2e6, ExamplesPerSec: 60000, AllocsPerOp: 12})
+	if d := Compare(old, new, DefaultTolerance()); d.Regressed() {
+		t.Fatalf("allocs within slack gated: %v", d.Regressions)
+	}
+	new.Benchmarks[0].AllocsPerOp = 30
+	if d := Compare(old, new, DefaultTolerance()); !d.Regressed() {
+		t.Fatal("allocs past slack not flagged")
+	}
+}
+
+func TestCompareNewAndRemovedNotGated(t *testing.T) {
+	old := diffReport(
+		Result{Name: "kept", NsPerOp: 1e5, ExamplesPerSec: 1000},
+		Result{Name: "dropped", NsPerOp: 1e5},
+	)
+	new := diffReport(
+		Result{Name: "kept", NsPerOp: 1e5, ExamplesPerSec: 1000},
+		Result{Name: "added", NsPerOp: 1e5},
+	)
+	d := Compare(old, new, DefaultTolerance())
+	if d.Regressed() {
+		t.Fatalf("spec churn gated: %v", d.Regressions)
+	}
+	if e := entryByName(t, d, "added"); e.Status != "new" {
+		t.Fatalf("added status %q, want new", e.Status)
+	}
+	if e := entryByName(t, d, "dropped"); e.Status != "removed" {
+		t.Fatalf("dropped status %q, want removed", e.Status)
+	}
+}
+
+func TestCompareImprovement(t *testing.T) {
+	old := diffReport(Result{Name: "train_step", NsPerOp: 1e6, ExamplesPerSec: 100000})
+	new := diffReport(Result{Name: "train_step", NsPerOp: 8e5, ExamplesPerSec: 125000})
+	d := Compare(old, new, DefaultTolerance())
+	if e := entryByName(t, d, "train_step"); e.Status != "improved" {
+		t.Fatalf("status %q, want improved", e.Status)
+	}
+	if !strings.Contains(d.Render(), "no regressions past tolerance") {
+		t.Fatal("render missing the all-clear line")
+	}
+}

@@ -116,6 +116,13 @@ type World struct {
 	link  Link
 	reg   *telemetry.Registry
 	stats [numOps]opMeter
+	// rankWait[k] accumulates the nanoseconds rank k spent blocked at
+	// collective rendezvous points ("collective/rank<k>/wait_ns"). A
+	// straggler arrives at every barrier last, so it waits the least
+	// while its peers absorb its lateness — the asymmetry the imbalance
+	// detector reads. Synchronous collectives equalize per-rank *span*
+	// durations, so this is the only place the skew is visible.
+	rankWait []*telemetry.Counter
 
 	mu     sync.Mutex
 	groups []*Group
@@ -136,12 +143,18 @@ func NewWorldWith(n int, link Link, reg *telemetry.Registry) *World {
 	if n <= 0 {
 		panic(fmt.Sprintf("collective: world size %d", n))
 	}
-	w := &World{n: n, link: link, reg: reg}
+	w := &World{n: n, link: link, reg: reg, rankWait: make([]*telemetry.Counter, n)}
 	for op := Op(0); op < numOps; op++ {
 		w.stats[op] = newOpMeter(reg, op)
 	}
+	for k := 0; k < n; k++ {
+		w.rankWait[k] = reg.Counter(fmt.Sprintf("collective/rank%d/wait_ns", k))
+	}
 	return w
 }
+
+// RankWaitNs returns rank k's cumulative rendezvous wait in nanoseconds.
+func (w *World) RankWaitNs(k int) int64 { return w.rankWait[k].Load() }
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.n }
@@ -254,10 +267,32 @@ func (b *barrier) error() error {
 
 // Group is one rendezvous context of a World (see World.NewGroup).
 type Group struct {
-	w    *World
-	bar  barrier
-	bufs [][]float32   // scalar payload slots
-	vecs [][][]float32 // vector payload slots (all-to-all-v)
+	w       *World
+	bar     barrier
+	bufs    [][]float32   // scalar payload slots
+	vecs    [][][]float32 // vector payload slots (all-to-all-v)
+	unmeter bool          // see MeterWaits
+}
+
+// MeterWaits controls whether this group's rendezvous waits feed the
+// per-rank wait meters (on by default). Turn it off for groups whose
+// collectives run on background goroutines (the hybrid trainer's
+// overlapped all-reduce): their waits are hidden under compute, not on
+// the rank's critical path, and counting them would misread a balanced
+// overlapped run as straggling.
+func (g *Group) MeterWaits(on bool) { g.unmeter = !on }
+
+// wait times one barrier rendezvous on behalf of rank, charging the
+// blocked nanoseconds to the rank's wait meter (two monotonic clock
+// reads; no allocation, so the zero-alloc step budget holds).
+func (g *Group) wait(rank int) error {
+	if g.unmeter {
+		return g.bar.wait()
+	}
+	start := telemetry.Now()
+	err := g.bar.wait()
+	g.w.rankWait[rank].Add(telemetry.Now() - start)
+	return err
 }
 
 // chunkRange returns the [lo, hi) element range of ring chunk k when a
@@ -287,7 +322,7 @@ func (g *Group) AllReduce(rank int, buf []float32) error {
 		return nil
 	}
 	g.bufs[rank] = buf
-	if err := g.bar.wait(); err != nil {
+	if err := g.wait(rank); err != nil {
 		return err
 	}
 	prev := (rank - 1 + n) % n
@@ -308,7 +343,7 @@ func (g *Group) AllReduce(rank int, buf []float32) error {
 			dst[i] += v
 		}
 		moved += int64(hi-lo) * 4
-		if err := g.bar.wait(); err != nil {
+		if err := g.wait(rank); err != nil {
 			return err
 		}
 	}
@@ -319,7 +354,7 @@ func (g *Group) AllReduce(rank int, buf []float32) error {
 		lo, hi := chunkRange(size, n, k)
 		copy(buf[lo:hi], src[lo:hi])
 		moved += int64(hi-lo) * 4
-		if err := g.bar.wait(); err != nil {
+		if err := g.wait(rank); err != nil {
 			return err
 		}
 	}
@@ -340,7 +375,7 @@ func (g *Group) AllToAllV(rank int, send, recv [][]float32) error {
 		panic(fmt.Sprintf("collective: alltoallv needs %d send/recv slots, got %d/%d", n, len(send), len(recv)))
 	}
 	g.vecs[rank] = send
-	if err := g.bar.wait(); err != nil {
+	if err := g.wait(rank); err != nil {
 		return err
 	}
 	var moved int64
@@ -355,7 +390,7 @@ func (g *Group) AllToAllV(rank int, send, recv [][]float32) error {
 			moved += int64(len(src)) * 4
 		}
 	}
-	if err := g.bar.wait(); err != nil {
+	if err := g.wait(rank); err != nil {
 		return err
 	}
 	g.w.stats[OpAllToAll].add(moved, g.w.link.xferSec(moved, n-1))
@@ -375,7 +410,7 @@ func (g *Group) AllGather(rank int, send, recv []float32) error {
 		panic(fmt.Sprintf("collective: allgather recv length %d, want %d", len(recv), n*k))
 	}
 	g.bufs[rank] = send
-	if err := g.bar.wait(); err != nil {
+	if err := g.wait(rank); err != nil {
 		return err
 	}
 	var moved int64
@@ -389,7 +424,7 @@ func (g *Group) AllGather(rank int, send, recv []float32) error {
 			moved += int64(k) * 4
 		}
 	}
-	if err := g.bar.wait(); err != nil {
+	if err := g.wait(rank); err != nil {
 		return err
 	}
 	g.w.stats[OpAllGather].add(moved, g.w.link.xferSec(moved, n-1))
@@ -411,7 +446,7 @@ func (g *Group) Broadcast(rank, root int, buf []float32) error {
 		return nil
 	}
 	g.bufs[rank] = buf
-	if err := g.bar.wait(); err != nil {
+	if err := g.wait(rank); err != nil {
 		return err
 	}
 	var moved int64
@@ -423,7 +458,7 @@ func (g *Group) Broadcast(rank, root int, buf []float32) error {
 		copy(buf, src)
 		moved = int64(len(buf)) * 4
 	}
-	if err := g.bar.wait(); err != nil {
+	if err := g.wait(rank); err != nil {
 		return err
 	}
 	g.w.stats[OpBroadcast].add(moved, g.w.link.xferSec(moved, 1))
@@ -435,5 +470,5 @@ func (g *Group) Barrier(rank int) error {
 	if err := g.w.checkFault(rank); err != nil {
 		return err
 	}
-	return g.bar.wait()
+	return g.wait(rank)
 }

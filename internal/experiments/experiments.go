@@ -56,6 +56,7 @@ var registry = map[string]struct {
 	"hybrid_scaling":        {"Hybrid-parallel scaling: ranks x batch comm/compute breakdown (real collectives)", hybridScaling},
 	"ingest_scaling":        {"Ingestion scaling: readers per trainer, reader-bound vs trainer-bound crossover + RecD dedup", ingestScaling},
 	"memtier":               {"Tiered memory: cache capacity vs hit rate vs throughput (MTrainS-style)", memtierSweep},
+	"straggler_analysis":    {"Straggler detection: imbalance index and doctor verdict under an injected per-step delay fault (1/2/4 ranks)", stragglerAnalysis},
 	"table1":                {"Table I: hardware platform details", table1},
 	"telemetry_attribution": {"Telemetry attribution: observed span phases vs perfmodel prediction (1/2/4 ranks from disk)", telemetryAttribution},
 	"table2":                {"Table II: production model descriptions", table2},

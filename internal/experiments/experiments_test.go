@@ -7,8 +7,8 @@ import (
 
 func TestIDsStable(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 21 {
-		t.Fatalf("%d experiments registered, want 21", len(ids))
+	if len(ids) != 22 {
+		t.Fatalf("%d experiments registered, want 22", len(ids))
 	}
 	for _, id := range ids {
 		if Title(id) == "" {

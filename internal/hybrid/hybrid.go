@@ -235,13 +235,24 @@ func New(cfg core.Config, hc Config) (*Trainer, error) {
 		t.dirty = append(t.dirty, ckpt.NewDirty(tab.HashSize))
 	}
 
-	main, side := t.world.NewGroup(), t.world.NewGroup()
+	main, side, ar := t.world.NewGroup(), t.world.NewGroup(), t.world.NewGroup()
+	if hc.Overlap && hc.Ranks > 1 {
+		// The bucketed all-reduce runs on a background goroutine when
+		// overlapped: its rendezvous waits hide under compute, off the
+		// rank's critical path, so they must not feed the per-rank wait
+		// meters the straggler analysis subtracts from step wall time.
+		// (The exposed join is still visible as the rank shard's
+		// all-reduce span.) With Overlap off the same collective runs
+		// inline and stays metered.
+		ar.MeterWaits(false)
+	}
 	for id := 0; id < hc.Ranks; id++ {
 		r := &rank{
 			t:    t,
 			id:   id,
 			main: main,
 			side: side,
+			ar:   ar,
 			model: &core.Model{
 				Cfg:    cfg,
 				Bottom: ref.Bottom.Clone(),
@@ -455,8 +466,9 @@ func (t *Trainer) Close() {
 type rank struct {
 	t    *Trainer
 	id   int
-	main *collective.Group // forward all-to-all + dense all-reduce
+	main *collective.Group // forward all-to-all
 	side *collective.Group // backward all-to-all (overlappable)
+	ar   *collective.Group // bucketed dense all-reduce
 
 	model   *core.Model // dense replica (no tables)
 	params  []nn.Param
@@ -729,7 +741,7 @@ func (r *rank) allReduceBuckets() error {
 		if end > len(r.flat) {
 			end = len(r.flat)
 		}
-		if err := r.main.AllReduce(r.id, r.flat[off:end]); err != nil {
+		if err := r.ar.AllReduce(r.id, r.flat[off:end]); err != nil {
 			return err
 		}
 	}

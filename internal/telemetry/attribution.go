@@ -251,5 +251,26 @@ func (s TraceSnapshot) Timeline(width int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "window %s ms (%d spans)\n", metrics.F(float64(t1-t0)/1e6), len(s.Spans))
 	b.WriteString(metrics.Gantt(rows, float64(t0), float64(t1), width))
+
+	// Per-phase latency quantiles: the tail view the Gantt hides. Fed
+	// from the histogram banks when present (full run coverage), else
+	// rebuilt from the retained spans.
+	lat := [][]string{{"phase", "spans", "mean ms", "p50 ms", "p99 ms", "max ms"}}
+	for p := Phase(0); p < NumPhases; p++ {
+		h := s.PhaseHist(p)
+		if h.Count() == 0 {
+			continue
+		}
+		q := h.Summary()
+		lat = append(lat, []string{
+			p.String(), fmt.Sprintf("%d", q.Count),
+			metrics.F(q.Mean / 1e6), metrics.F(float64(q.P50) / 1e6),
+			metrics.F(float64(q.P99) / 1e6), metrics.F(float64(q.Max) / 1e6),
+		})
+	}
+	if len(lat) > 1 {
+		b.WriteString("\nphase latency quantiles:\n")
+		b.WriteString(metrics.Table(lat))
+	}
 	return b.String()
 }

@@ -47,12 +47,29 @@ func phaseCategory(p Phase) string {
 func WriteChromeTrace(w io.Writer, s TraceSnapshot) error {
 	out := chromeTrace{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{}}
 	for i, name := range s.Shards {
+		args := map[string]any{"name": name}
+		// Attach the shard's per-phase latency quantiles to its
+		// thread_name metadata (extra Args keys keep the event schema the
+		// validators pin), so the sidecar carries the tail distributions
+		// alongside the raw spans.
+		for p := Phase(0); p < NumPhases; p++ {
+			h := s.ShardPhaseHist(i, p)
+			if h.Count() == 0 {
+				continue
+			}
+			q := h.Summary()
+			args[p.String()+"_quantiles"] = map[string]any{
+				"count": q.Count, "mean_ns": int64(q.Mean),
+				"p50_ns": q.P50, "p95_ns": q.P95, "p99_ns": q.P99,
+				"p999_ns": q.P999, "max_ns": q.Max,
+			}
+		}
 		out.TraceEvents = append(out.TraceEvents, chromeEvent{
 			Name: "thread_name",
 			Ph:   "M",
 			PID:  0,
 			TID:  i,
-			Args: map[string]any{"name": name},
+			Args: args,
 		})
 	}
 	for _, sp := range s.Spans {

@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// histTestDists are adversarial value distributions for the quantile
+// accuracy bound: exact small values, octave-boundary values (powers of
+// two ±1, the worst case for log bucketing), wide log-uniform spreads,
+// heavy tails, and point masses.
+func histTestDists() map[string][]int64 {
+	rng := rand.New(rand.NewSource(7))
+	dists := map[string][]int64{}
+
+	uni := make([]int64, 20000)
+	for i := range uni {
+		uni[i] = rng.Int63n(1_000_000)
+	}
+	dists["uniform"] = uni
+
+	logu := make([]int64, 20000)
+	for i := range logu {
+		logu[i] = int64(math.Exp(rng.Float64()*30)) + 1 // 1 .. ~1e13
+	}
+	dists["log-uniform"] = logu
+
+	var edges []int64
+	for e := uint(0); e < 40; e++ {
+		v := int64(1) << e
+		edges = append(edges, v-1, v, v+1)
+	}
+	dists["octave-edges"] = edges
+
+	bim := make([]int64, 0, 10000)
+	for i := 0; i < 9000; i++ {
+		bim = append(bim, 50+rng.Int63n(10))
+	}
+	for i := 0; i < 1000; i++ {
+		bim = append(bim, 2_000_000_000+rng.Int63n(1000)) // 2s outliers
+	}
+	dists["bimodal-tail"] = bim
+
+	dists["constant"] = []int64{12345, 12345, 12345, 12345}
+	dists["small-exact"] = []int64{0, 1, 2, 3, 5, 8, 13, 21, 31}
+	return dists
+}
+
+// exactQuantile mirrors Histogram.Quantile's rank definition (the
+// ⌈q·n⌉-th smallest observation) on the raw sorted values.
+func exactQuantile(sorted []int64, q float64) int64 {
+	target := int(q * float64(len(sorted)))
+	if target < 1 {
+		target = 1
+	}
+	return sorted[target-1]
+}
+
+// TestHistogramQuantileAccuracy checks the advertised bound: every
+// reported quantile is within 3.125% relative error of the exact
+// order-statistic (exact below histSubCount where buckets are unit
+// width).
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	for name, vals := range histTestDists() {
+		var h Histogram
+		sorted := append([]int64(nil), vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, v := range vals {
+			h.Record(v)
+		}
+		if h.Count() != uint64(len(vals)) {
+			t.Fatalf("%s: count %d, want %d", name, h.Count(), len(vals))
+		}
+		for _, q := range []float64{0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 0.999, 1.0} {
+			got := h.Quantile(q)
+			want := exactQuantile(sorted, q)
+			if want < histSubCount {
+				if got != want {
+					t.Errorf("%s: q=%.3f got %d, want exactly %d (unit-bucket range)", name, q, got, want)
+				}
+				continue
+			}
+			if relerr := math.Abs(float64(got)-float64(want)) / float64(want); relerr > 0.03125 {
+				t.Errorf("%s: q=%.3f got %d, want %d (rel err %.4f > 3.125%%)", name, q, got, want, relerr)
+			}
+		}
+		// Mean is exact (tracked as a true sum, not from buckets).
+		var sum float64
+		for _, v := range vals {
+			sum += float64(v)
+		}
+		if want := sum / float64(len(vals)); h.Mean() != want {
+			t.Errorf("%s: mean %.3f, want exact %.3f", name, h.Mean(), want)
+		}
+	}
+}
+
+// TestHistogramBucketRoundTrip checks the bucket representative stays
+// within half a bucket width of every value mapped into it.
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100000; i++ {
+		v := rng.Int63() >> uint(rng.Intn(60))
+		got := histValue(histBucket(v))
+		if v < histSubCount {
+			if got != v {
+				t.Fatalf("histValue(histBucket(%d)) = %d, want exact", v, got)
+			}
+			continue
+		}
+		if relerr := math.Abs(float64(got)-float64(v)) / float64(v); relerr > 0.03125 {
+			t.Fatalf("histValue(histBucket(%d)) = %d, rel err %.4f > 3.125%%", v, got, relerr)
+		}
+	}
+}
+
+// TestHistogramMergeCommutative splits a stream across shards and
+// checks merge order does not matter and the merge equals the
+// single-histogram ground truth.
+func TestHistogramMergeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var whole, a, b, c Histogram
+	for i := 0; i < 30000; i++ {
+		v := int64(math.Exp(rng.Float64() * 25))
+		whole.Record(v)
+		switch i % 3 {
+		case 0:
+			a.Record(v)
+		case 1:
+			b.Record(v)
+		case 2:
+			c.Record(v)
+		}
+	}
+	ab := a.Clone()
+	ab.Merge(&b)
+	ab.Merge(&c)
+	cb := c.Clone()
+	cb.Merge(&b)
+	cb.Merge(&a)
+	if ab != cb {
+		t.Fatal("merge(a,b,c) != merge(c,b,a): merge is not commutative")
+	}
+	if ab != whole {
+		t.Fatal("merged shards differ from the single-histogram ground truth")
+	}
+}
+
+// TestHistogramZeroAlloc pins the zero-allocation contract of the
+// record path and the quantile read path.
+func TestHistogramZeroAlloc(t *testing.T) {
+	var h Histogram
+	if avg := testing.AllocsPerRun(100, func() { h.Record(123456) }); avg != 0 {
+		t.Fatalf("Record allocates %.1f objects, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		_ = h.Quantile(0.99)
+		_ = h.Summary()
+	}); avg != 0 {
+		t.Fatalf("Quantile/Summary allocate %.1f objects, want 0", avg)
+	}
+}
+
+// TestHistogramConcurrentRecord hammers Record from parallel writers
+// and checks the totals line up (run under -race in CI).
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const writers, per = 8, 10000
+	done := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			for i := 0; i < per; i++ {
+				h.Record(int64(w*1000 + i))
+			}
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		<-done
+	}
+	if h.Count() != writers*per {
+		t.Fatalf("count %d, want %d", h.Count(), writers*per)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/metrics"
 )
@@ -87,6 +88,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	funcs    map[string]func() int64
+	hists    map[string]func() Histogram
 }
 
 // NewRegistry builds an empty registry.
@@ -95,6 +97,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		funcs:    make(map[string]func() int64),
+		hists:    make(map[string]func() Histogram),
 	}
 }
 
@@ -142,6 +145,34 @@ func (r *Registry) RegisterFunc(name string, fn func() int64) {
 	r.funcs[name] = fn
 }
 
+// RegisterHist installs a snapshot-time histogram source: fn (typically
+// a Tracer.PhaseHist closure) is evaluated on every Snapshot and, when
+// the histogram is non-empty, expands into quantile metrics under the
+// given name — <name>/count, /mean_ns, /p50_ns, /p95_ns, /p99_ns,
+// /p999_ns, /max_ns. Empty histograms are omitted so idle phases do not
+// flood the snapshot.
+func (r *Registry) RegisterHist(name string, fn func() Histogram) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hists[name] = fn
+}
+
+// RegisterPhaseHists exposes every phase latency distribution of a
+// tracer in the registry under "phase/<phase name>", so /metrics and
+// Snapshot().Render() carry p50/p95/p99/p999 per phase.
+func RegisterPhaseHists(r *Registry, t *Tracer) {
+	if r == nil || t == nil {
+		return
+	}
+	for p := Phase(0); p < NumPhases; p++ {
+		p := p
+		r.RegisterHist("phase/"+p.String(), func() Histogram { return t.PhaseHist(p) })
+	}
+}
+
 // Metric is one named value in a snapshot.
 type Metric struct {
 	Name  string `json:"name"`
@@ -149,8 +180,13 @@ type Metric struct {
 }
 
 // Snapshot is a point-in-time copy of every registry instrument, sorted
-// by name.
+// by name, stamped with the time it was resolved.
 type Snapshot struct {
+	// TakenAt is the wall-clock resolution time (RFC3339Nano, UTC).
+	TakenAt string `json:"taken_at,omitempty"`
+	// ClockNS is the telemetry clock (Now) at resolution time, the
+	// timebase every span and duration metric shares.
+	ClockNS int64    `json:"clock_ns,omitempty"`
 	Metrics []Metric `json:"metrics"`
 }
 
@@ -174,14 +210,40 @@ func (r *Registry) Snapshot() Snapshot {
 		fns = append(fns, Metric{Name: n})
 	}
 	funcs := r.funcs
+	histNames := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		histNames = append(histNames, n)
+	}
+	hists := r.hists
 	r.mu.Unlock()
-	// Evaluate functions outside the lock: they may read other systems.
+	// Evaluate functions and histograms outside the lock: they may read
+	// other systems.
 	for i := range fns {
 		fns[i].Value = funcs[fns[i].Name]()
 	}
 	ms = append(ms, fns...)
+	for _, n := range histNames {
+		h := hists[n]()
+		if h.Count() == 0 {
+			continue
+		}
+		q := h.Summary()
+		ms = append(ms,
+			Metric{n + "/count", int64(q.Count)},
+			Metric{n + "/mean_ns", int64(q.Mean)},
+			Metric{n + "/p50_ns", q.P50},
+			Metric{n + "/p95_ns", q.P95},
+			Metric{n + "/p99_ns", q.P99},
+			Metric{n + "/p999_ns", q.P999},
+			Metric{n + "/max_ns", q.Max},
+		)
+	}
 	sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
-	return Snapshot{Metrics: ms}
+	return Snapshot{
+		TakenAt: time.Now().UTC().Format(time.RFC3339Nano),
+		ClockNS: Now(),
+		Metrics: ms,
+	}
 }
 
 // Reset zeroes every counter and gauge (snapshot functions are left
@@ -225,20 +287,25 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	for _, m := range prev.Metrics {
 		old[m.Name] = m.Value
 	}
-	out := Snapshot{Metrics: make([]Metric, len(s.Metrics))}
+	out := Snapshot{TakenAt: s.TakenAt, ClockNS: s.ClockNS, Metrics: make([]Metric, len(s.Metrics))}
 	for i, m := range s.Metrics {
 		out.Metrics[i] = Metric{m.Name, m.Value - old[m.Name]}
 	}
 	return out
 }
 
-// Render returns the snapshot as an aligned two-column table.
+// Render returns the snapshot as an aligned two-column table, headed by
+// the resolution timestamp.
 func (s Snapshot) Render() string {
 	rows := [][]string{{"metric", "value"}}
 	for _, m := range s.Metrics {
 		rows = append(rows, []string{m.Name, fmt.Sprintf("%d", m.Value)})
 	}
-	return metrics.Table(rows)
+	head := ""
+	if s.TakenAt != "" {
+		head = fmt.Sprintf("snapshot at %s (clock %.3f s)\n", s.TakenAt, float64(s.ClockNS)/1e9)
+	}
+	return head + metrics.Table(rows)
 }
 
 // WriteJSON serializes a snapshot of the registry.

@@ -53,7 +53,16 @@ type traceShard struct {
 type Tracer struct {
 	shards []traceShard
 	names  []string
+	// hists holds one fixed bank of per-phase latency histograms per
+	// shard, allocated up front so the record path stays allocation-free.
+	// Unlike the span rings, histograms never overwrite: they keep the
+	// full latency distribution of every span ever recorded, which is
+	// what the doctor's tail analysis reads.
+	hists []PhaseHistograms
 }
+
+// PhaseHistograms is one shard's bank of per-phase latency histograms.
+type PhaseHistograms [NumPhases]Histogram
 
 // NewTracer builds a tracer with the given shard count, each holding a
 // ring of capacity spans. Memory is allocated up front: shards ×
@@ -65,7 +74,11 @@ func NewTracer(shards, capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = 1024
 	}
-	t := &Tracer{shards: make([]traceShard, shards), names: make([]string, shards)}
+	t := &Tracer{
+		shards: make([]traceShard, shards),
+		names:  make([]string, shards),
+		hists:  make([]PhaseHistograms, shards),
+	}
 	for i := range t.shards {
 		t.shards[i].spans = make([]Span, capacity)
 		t.names[i] = fmt.Sprintf("shard %d", i)
@@ -141,6 +154,23 @@ func (t *Tracer) record(shard int, p Phase, start, end int64) {
 		s.next = 0
 	}
 	s.total++
+	t.hists[shard][p].Record(end - start)
+}
+
+// PhaseHist returns a merged clone of phase p's latency histogram across
+// every shard. It uses atomic loads, so it is safe while recording is
+// live (an approximate in-flight view); for exact numbers take it at a
+// quiescent point. A nil tracer returns an empty histogram.
+func (t *Tracer) PhaseHist(p Phase) Histogram {
+	var out Histogram
+	if t == nil {
+		return out
+	}
+	for i := range t.hists {
+		c := t.hists[i][p].Clone()
+		out.Merge(&c)
+	}
+	return out
 }
 
 // Reset discards every recorded span (capacity is retained). Like
@@ -156,6 +186,7 @@ func (t *Tracer) Reset() {
 		for j := range s.spans {
 			s.spans[j] = Span{}
 		}
+		t.hists[i] = PhaseHistograms{}
 	}
 }
 
@@ -166,6 +197,11 @@ type TraceSnapshot struct {
 	Spans   []Span
 	Shards  []string
 	Dropped uint64
+	// Hists carries each shard's per-phase latency histograms. Unlike
+	// Spans (bounded by the ring capacity), the histograms cover every
+	// span recorded since the last Reset, so tail quantiles survive ring
+	// overwrite.
+	Hists []PhaseHistograms
 }
 
 // Snapshot copies the retained spans out of every shard. It allocates,
@@ -177,6 +213,12 @@ func (t *Tracer) Snapshot() TraceSnapshot {
 	}
 	var snap TraceSnapshot
 	snap.Shards = append([]string(nil), t.names...)
+	snap.Hists = make([]PhaseHistograms, len(t.hists))
+	for i := range t.hists {
+		for p := range t.hists[i] {
+			snap.Hists[i][p] = t.hists[i][p].Clone()
+		}
+	}
 	for i := range t.shards {
 		s := &t.shards[i]
 		n := int(s.total)
@@ -203,6 +245,44 @@ func (s TraceSnapshot) ShardName(i int) string {
 		return s.Shards[i]
 	}
 	return fmt.Sprintf("shard %d", i)
+}
+
+// PhaseHist merges phase p's latency histogram across every shard of
+// the snapshot. When the snapshot carries no histogram banks (hand-built
+// literals in tests), it falls back to bucketing the retained spans.
+func (s TraceSnapshot) PhaseHist(p Phase) Histogram {
+	var out Histogram
+	if len(s.Hists) == 0 {
+		for _, sp := range s.Spans {
+			if sp.Phase == p {
+				out.Record(sp.Dur())
+			}
+		}
+		return out
+	}
+	for i := range s.Hists {
+		out.Merge(&s.Hists[i][p])
+	}
+	return out
+}
+
+// ShardPhaseHist returns shard i's histogram for phase p (empty when the
+// snapshot has no banks or i is out of range), with the same span-level
+// fallback as PhaseHist.
+func (s TraceSnapshot) ShardPhaseHist(i int, p Phase) Histogram {
+	var out Histogram
+	if len(s.Hists) == 0 {
+		for _, sp := range s.Spans {
+			if sp.Phase == p && int(sp.Shard) == i {
+				out.Record(sp.Dur())
+			}
+		}
+		return out
+	}
+	if i >= 0 && i < len(s.Hists) {
+		out = s.Hists[i][p]
+	}
+	return out
 }
 
 // PhaseTotals sums span durations per phase in seconds across the whole

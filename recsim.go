@@ -2,7 +2,7 @@
 // reproduction of "Understanding Training Efficiency of Deep Learning
 // Recommendation Models at Scale" (HPCA 2021).
 //
-// It bundles eight capabilities:
+// It bundles nine capabilities:
 //
 //   - a real DLRM training stack (models, embedding tables, optimizers,
 //     synthetic click data, single-node and distributed trainers) whose
@@ -36,6 +36,15 @@
 //     registry absorbing every subsystem meter, Chrome trace_event and
 //     expvar/pprof exporters, and an attribution report joining observed
 //     span timings against the analytic perfmodel per phase;
+//   - a cluster-wide performance doctor on top of that telemetry:
+//     zero-allocation log-bucketed quantile histograms on every phase
+//     (p50/p95/p99/p999, mergeable across rank shards), a straggler
+//     detector joining per-rank rendezvous-wait meters into an
+//     imbalance index with slowest-rank attribution, per-table hot-row
+//     skew summaries, a boundedness classifier (Diagnose) fusing
+//     observed phases with the analytic model, and a bench-trajectory
+//     regression gate diffing BENCH_*.json reports under noise-aware
+//     tolerances (cmd/benchrun -compare);
 //   - durable checkpoint/restore and elastic fault tolerance
 //     (internal/ckpt): sharded content-hashed checkpoints (per-table
 //     embedding shards, dense replica, optimizer state) under a
@@ -62,6 +71,7 @@ import (
 	"io"
 	"net/http"
 
+	"repro/internal/benchreport"
 	"repro/internal/ckpt"
 	"repro/internal/collective"
 	"repro/internal/core"
@@ -223,6 +233,34 @@ type (
 	// ElasticResult reports an elastic run: the loss curve, recovery
 	// count, recovery wall time, and verified bytes restored.
 	ElasticResult = hybrid.ElasticResult
+	// Histogram is the fixed-size, zero-allocation log-bucketed latency
+	// histogram behind every phase's quantiles: lock-free concurrent
+	// Record, mergeable across rank shards, ≤3.125% relative quantile
+	// error by construction.
+	Histogram = telemetry.Histogram
+	// LatencyQuantiles is one histogram's rendered summary
+	// (count/mean/p50/p95/p99/p999/max).
+	LatencyQuantiles = telemetry.Quantiles
+	// ImbalanceReport is the per-rank straggler analysis: step wall vs
+	// rendezvous wait vs self time, the max/mean imbalance index, and
+	// slowest-rank attribution per phase.
+	ImbalanceReport = telemetry.ImbalanceReport
+	// TableSkew summarizes one embedding table's hot-row access skew
+	// (top-1%/top-10% lookup shares and the per-row count histogram).
+	TableSkew = telemetry.TableSkew
+	// DoctorInput bundles what the performance doctor fuses: trace
+	// snapshot, metrics snapshot, analytic phase prediction, and skew.
+	DoctorInput = telemetry.DoctorInput
+	// DoctorReport is the classified run: a boundedness verdict
+	// (compute-/all-to-all-/all-reduce-/reader-/checkpoint-/straggler-
+	// bound), the bucket decomposition, and ranked findings.
+	DoctorReport = telemetry.DoctorReport
+	// BenchDiff is the noise-aware comparison of two BENCH_*.json
+	// reports (cmd/benchrun -compare, the CI regression gate).
+	BenchDiff = benchreport.Diff
+	// BenchTolerance is the gate's noise policy (throughput drop %,
+	// ns/op slowdown %, noise floor, alloc slack).
+	BenchTolerance = benchreport.Tolerance
 )
 
 // Placement strategies (Fig 8, plus the tiered-memory extension).
@@ -478,6 +516,42 @@ func ServeTelemetry(addr string, r *Registry) (*http.Server, error) {
 	return telemetry.Serve(addr, r)
 }
 
+// RegisterPhaseHists publishes a tracer's per-phase latency histograms
+// into a registry, so /metrics and Snapshot.Render carry
+// "phase/<name>/{p50,p95,p99,p999}_ns" alongside the counters.
+func RegisterPhaseHists(r *Registry, t *Tracer) { telemetry.RegisterPhaseHists(r, t) }
+
+// Imbalance joins a trace snapshot's per-rank step windows with the
+// collective rendezvous-wait meters into the straggler report: a
+// synchronous straggler waits the least at every barrier, so
+// step-wall minus wait recovers each rank's true self time.
+func Imbalance(snap TraceSnapshot, ms Snapshot) ImbalanceReport { return telemetry.Imbalance(snap, ms) }
+
+// SkewFromRowCounts summarizes per-row embedding access counts (any
+// order) into a TableSkew — feed it trace.Collector row frequencies or
+// any raw count slice.
+func SkewFromRowCounts(table string, counts []uint64) TableSkew {
+	return telemetry.SkewFromRowCounts(table, counts)
+}
+
+// Diagnose runs the performance doctor: it decomposes observed step
+// time into compute / all-to-all / all-reduce / reader / checkpoint
+// buckets (fusing span attribution with the Link-priced collective
+// meters), overlays the straggler analysis, and returns a verdict with
+// ranked findings. See cmd/dlrmtrain -telemetry.doctor.
+func Diagnose(in DoctorInput) DoctorReport { return telemetry.Diagnose(in) }
+
+// CompareBenchReports diffs two BENCH_*.json files (old, new) under the
+// tolerance policy; BenchDiff.Regressed reports whether any gated
+// benchmark moved past it. DefaultBenchTolerance is the CI policy.
+func CompareBenchReports(oldPath, newPath string, tol BenchTolerance) (BenchDiff, error) {
+	return benchreport.CompareFiles(oldPath, newPath, tol)
+}
+
+// DefaultBenchTolerance is the CI regression-gate policy: >10%
+// examples/sec drop fails, zero-alloc contracts are exact.
+func DefaultBenchTolerance() BenchTolerance { return benchreport.DefaultTolerance() }
+
 // Experiments lists the regenerable paper artifacts.
 func Experiments() []string { return experiments.IDs() }
 
@@ -487,7 +561,7 @@ func RunExperiment(id string, opt ExperimentOptions) (ExperimentResult, error) {
 }
 
 // Version identifies the reproduction release.
-const Version = "1.6.0"
+const Version = "1.7.0"
 
 // Describe returns a one-line summary of a model config.
 func Describe(cfg ModelConfig) string {

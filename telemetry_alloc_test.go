@@ -19,14 +19,19 @@ func TestStepTraceZeroAlloc(t *testing.T) {
 	cfg := benchreport.BenchStepConfig()
 
 	t.Run("single", func(t *testing.T) {
+		trace := telemetry.NewTracer(1, 2048)
 		tr := NewTrainer(NewModel(cfg, 1), TrainerConfig{LR: 0.05})
-		tr.SetTrace(telemetry.NewTracer(1, 2048), 0)
+		tr.SetTrace(trace, 0)
 		batch := NewGenerator(cfg, 2).NextBatch(128)
 		for i := 0; i < 3; i++ {
 			tr.Step(batch)
 		}
 		if avg := testing.AllocsPerRun(10, func() { tr.Step(batch) }); avg != 0 {
 			t.Fatalf("traced Trainer.Step allocates %.1f objects per step, want 0", avg)
+		}
+		// The same budget covers the quantile histograms the spans feed.
+		if h := trace.PhaseHist(telemetry.PhaseStep); h.Count() == 0 || h.Quantile(0.99) <= 0 {
+			t.Fatalf("step histogram empty after traced steps (count %d)", h.Count())
 		}
 	})
 
@@ -44,6 +49,11 @@ func TestStepTraceZeroAlloc(t *testing.T) {
 		}
 		if avg := testing.AllocsPerRun(20, func() { ht.Step(batch) }); avg > 2 {
 			t.Fatalf("traced hybrid step allocates %.1f objects per step, want ~0", avg)
+		}
+		for _, p := range []telemetry.Phase{telemetry.PhaseStep, telemetry.PhaseAllToAll, telemetry.PhaseAllReduce} {
+			if h := hc.Trace.PhaseHist(p); h.Count() == 0 {
+				t.Fatalf("%s histogram empty after traced hybrid steps", p)
+			}
 		}
 	})
 
