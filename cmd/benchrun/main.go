@@ -8,6 +8,7 @@
 //	benchrun -quick                 # CI smoke mode (tens of ms per benchmark)
 //	benchrun -bench gemm            # only benchmarks whose name contains "gemm"
 //	benchrun -baseline BENCH_old.json  # adds <name>_vs_baseline speedups
+//	benchrun -compare latest        # regression-gate the two newest reports
 package main
 
 import (
@@ -41,7 +42,7 @@ func run(args []string, out io.Writer) error {
 	mintime := fs.Duration("mintime", time.Second, "measurement floor per benchmark")
 	bench := fs.String("bench", "", "only run benchmarks whose name contains this substring")
 	baseline := fs.String("baseline", "", "prior BENCH_*.json whose ns/op become the baseline")
-	compare := fs.String("compare", "", "diff two reports instead of benchmarking: old.json,new.json; exits non-zero on regression past tolerance")
+	compare := fs.String("compare", "", "diff two reports instead of benchmarking: old.json,new.json, or \"latest\" for the two newest BENCH_*.json; exits non-zero on regression past tolerance")
 	note := fs.String("note", "", "free-form note recorded in the report")
 	httpAddr := fs.String("telemetry.http", "", "serve /metrics, /debug/vars and /debug/pprof on this address while benchmarks run")
 	if err := fs.Parse(args); err != nil {
@@ -129,10 +130,33 @@ func run(args []string, out io.Writer) error {
 
 // runCompare is the regression gate: diff two committed reports under
 // the default tolerance policy and fail (non-zero exit) on regression.
+// The spec "latest" (optionally "latest:<dir>") selects the two newest
+// committed BENCH_*.json reports automatically — the timestamped
+// filenames sort chronologically, so no mtime inspection is needed.
 func runCompare(spec string, out io.Writer) error {
-	oldPath, newPath, ok := strings.Cut(spec, ",")
-	if !ok || oldPath == "" || newPath == "" {
-		return fmt.Errorf("benchrun: -compare wants old.json,new.json, got %q", spec)
+	var oldPath, newPath string
+	if spec == "latest" || strings.HasPrefix(spec, "latest:") {
+		dir := strings.TrimPrefix(spec, "latest")
+		dir = strings.TrimPrefix(dir, ":")
+		if dir == "" {
+			dir = "."
+		}
+		reports, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+		if err != nil {
+			return err
+		}
+		if len(reports) < 2 {
+			return fmt.Errorf("benchrun: -compare latest needs at least 2 BENCH_*.json reports in %s, found %d", dir, len(reports))
+		}
+		sort.Strings(reports)
+		oldPath, newPath = reports[len(reports)-2], reports[len(reports)-1]
+		fmt.Fprintf(out, "comparing %s -> %s\n", filepath.Base(oldPath), filepath.Base(newPath))
+	} else {
+		var ok bool
+		oldPath, newPath, ok = strings.Cut(spec, ",")
+		if !ok || oldPath == "" || newPath == "" {
+			return fmt.Errorf("benchrun: -compare wants old.json,new.json or \"latest\", got %q", spec)
+		}
 	}
 	d, err := benchreport.CompareFiles(oldPath, newPath, benchreport.DefaultTolerance())
 	if err != nil {

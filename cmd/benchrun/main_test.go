@@ -61,3 +61,42 @@ func TestRunBenchFilterAndBaseline(t *testing.T) {
 		t.Errorf("baseline speedup missing:\n%s", out.String())
 	}
 }
+
+// TestCompareLatest exercises the "-compare latest" auto-selection: two
+// quick reports in one directory, the gate picks the two newest by
+// timestamped filename and renders a diff.
+func TestCompareLatest(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-compare", "latest:" + dir}, &out); err == nil {
+		t.Error("-compare latest accepted an empty directory")
+	}
+	// Two fixed reports with deterministic names: old regresses nothing.
+	for i, name := range []string{"BENCH_20260101T000000Z.json", "BENCH_20260102T000000Z.json"} {
+		rep := benchreport.Report{
+			SchemaVersion: 1,
+			Benchmarks: []benchreport.Result{
+				{Name: "train_step", NsPerOp: 1000 - float64(i)*10},
+			},
+		}
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	out.Reset()
+	if err := run([]string{"-compare", "latest:" + dir}, &out); err != nil {
+		t.Fatalf("compare latest: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "BENCH_20260101T000000Z.json -> BENCH_20260102T000000Z.json") {
+		t.Errorf("did not pick the two newest reports:\n%s", s)
+	}
+	if !strings.Contains(s, "train_step") {
+		t.Errorf("diff missing benchmark row:\n%s", s)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/perfmodel"
 	"repro/internal/placement"
 	"repro/internal/telemetry"
+	"repro/internal/tensor"
 	"repro/internal/xrand"
 )
 
@@ -94,7 +95,18 @@ func run(args []string, out io.Writer) error {
 	ckptEvery := fs.Int("ckpt.every", 100, "iterations between checkpoints when -ckpt.dir is set")
 	resume := fs.Bool("resume", false, "resume from the latest checkpoint in -ckpt.dir before training")
 	faults := fs.String("faults", "", "collective fault schedule, e.g. kill:1@120,delay:0@40+2ms (hybrid mode, needs -ckpt.dir)")
+	precTables := fs.String("precision.tables", "fp32", "embedding-table storage dtype: fp32, bf16 or fp16 (fp32 masters + split-SGD either way)")
+	precWire := fs.String("precision.wire", "fp32", "collective wire format in hybrid mode: fp32, fp16, bf16 or int8 (per-chunk scaled)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	tableDT, err := tensor.ParseDType(*precTables)
+	if err != nil {
+		return err
+	}
+	wire, err := collective.ParseWireFormat(*precWire)
+	if err != nil {
 		return err
 	}
 
@@ -106,9 +118,14 @@ func run(args []string, out io.Writer) error {
 		BottomMLP:     []int{64},
 		TopMLP:        []int{64, 32},
 		Interaction:   core.DotProduct,
+		TableDType:    tableDT,
 	}
 	if err := cfg.Validate(); err != nil {
 		return err
+	}
+	if tableDT != tensor.FP32 {
+		fmt.Fprintf(out, "precision: %s embedding tables (fp32 masters, split-SGD), %s lookup-path bytes\n",
+			tableDT, core.HumanBytes(cfg.EmbeddingBytes()))
 	}
 
 	tel, err := newTelemetry(out, *traceFile, *httpAddr, *report, *doctor, *mode, *ranks, *dataFlag, *readers)
@@ -137,9 +154,9 @@ func run(args []string, out io.Writer) error {
 	case "hybrid":
 		if co != nil && co.faults != nil {
 			fd.close()
-			return runHybridElastic(out, cfg, *batch, *iters, *lr, *seed, *ranks, *platform, tel, co)
+			return runHybridElastic(out, cfg, *batch, *iters, *lr, *seed, *ranks, *platform, wire, tel, co)
 		}
-		return runHybrid(out, cfg, fd, *batch, *iters, *lr, *seed, *ranks, *platform, tel, co)
+		return runHybrid(out, cfg, fd, *batch, *iters, *lr, *seed, *ranks, *platform, wire, tel, co)
 	default:
 		return fmt.Errorf("dlrmtrain: unknown mode %q (single, hybrid)", *mode)
 	}
@@ -409,7 +426,7 @@ func runSingle(out io.Writer, cfg core.Config, fd *feed, batch, iters int, lr fl
 	return tel.finish(out, nil)
 }
 
-func runHybrid(out io.Writer, cfg core.Config, fd *feed, batch, iters int, lr float64, seed int64, ranks int, platform string, tel *telem, co *ckptOpts) error {
+func runHybrid(out io.Writer, cfg core.Config, fd *feed, batch, iters int, lr float64, seed int64, ranks int, platform string, wire collective.WireFormat, tel *telem, co *ckptOpts) error {
 	p, err := hw.ByName(platform)
 	if err != nil {
 		return err
@@ -417,6 +434,7 @@ func runHybrid(out io.Writer, cfg core.Config, fd *feed, batch, iters int, lr fl
 	link := collective.LinkFor(p)
 	hc := hybrid.Config{
 		Ranks: ranks, LR: lr, Seed: seed, Overlap: ranks > 1, Link: link,
+		WireA2A: wire, WireAllReduce: wire,
 	}
 	if tel != nil {
 		hc.Registry, hc.Trace, hc.TraceShard = tel.reg, tel.tracer, 0
@@ -426,8 +444,8 @@ func runHybrid(out io.Writer, cfg core.Config, fd *feed, batch, iters int, lr fl
 		return err
 	}
 	defer ht.Close()
-	fmt.Fprintf(out, "hybrid: %d ranks, link %s, all-reduce overlapped=%v\n",
-		ranks, link.Name, ranks > 1)
+	fmt.Fprintf(out, "hybrid: %d ranks, link %s, all-reduce overlapped=%v, wire %s\n",
+		ranks, link.Name, ranks > 1, wire)
 	if co != nil && co.resume {
 		info, err := ht.RestoreCheckpoint(co.store)
 		if err := resumeLine(out, info, err); err != nil {
@@ -479,11 +497,12 @@ func runHybrid(out io.Writer, cfg core.Config, fd *feed, batch, iters int, lr fl
 	}
 	if trained > 0 {
 		st := ht.CollectiveStats()
+		bpe := wire.BytesPerElem()
 		fmt.Fprintf(out, "collectives: all-to-all %s/iter (analytic %s), all-reduce %s/iter (analytic %s)\n",
 			core.HumanBytes(st.AllToAll.Bytes/int64(trained)),
-			core.HumanBytes(int64(perfmodel.HybridAllToAllBytes(cfg, batch, ranks))),
+			core.HumanBytes(int64(perfmodel.HybridAllToAllBytesWire(cfg, batch, ranks, bpe))),
 			core.HumanBytes(st.AllReduce.Bytes/int64(trained)),
-			core.HumanBytes(int64(perfmodel.HybridAllReduceBytes(cfg, ranks))))
+			core.HumanBytes(int64(perfmodel.HybridAllReduceBytesWire(cfg, ranks, bpe))))
 	}
 	fd.close() // quiesce ingest goroutines before snapshotting the trace
 	return tel.finish(out, predictedPhases(cfg, p, batch))
@@ -494,7 +513,7 @@ func runHybrid(out io.Writer, cfg core.Config, fd *feed, batch, iters int, lr fl
 // checkpoint in -ckpt.dir, the world rebuilds, and the deterministic
 // synthetic stream replays — so the final loss curve matches an
 // uninterrupted run bit-for-bit.
-func runHybridElastic(out io.Writer, cfg core.Config, batch, iters int, lr float64, seed int64, ranks int, platform string, tel *telem, co *ckptOpts) error {
+func runHybridElastic(out io.Writer, cfg core.Config, batch, iters int, lr float64, seed int64, ranks int, platform string, wire collective.WireFormat, tel *telem, co *ckptOpts) error {
 	p, err := hw.ByName(platform)
 	if err != nil {
 		return err
@@ -502,7 +521,8 @@ func runHybridElastic(out io.Writer, cfg core.Config, batch, iters int, lr float
 	link := collective.LinkFor(p)
 	fmt.Fprintf(out, "hybrid: %d ranks, link %s, elastic (%d scheduled faults, checkpoint every %d iters)\n",
 		ranks, link.Name, co.faults.Len(), co.every)
-	hc := hybrid.Config{Ranks: ranks, LR: lr, Seed: seed, Overlap: ranks > 1, Link: link}
+	hc := hybrid.Config{Ranks: ranks, LR: lr, Seed: seed, Overlap: ranks > 1, Link: link,
+		WireA2A: wire, WireAllReduce: wire}
 	if tel != nil {
 		hc.Registry, hc.Trace, hc.TraceShard = tel.reg, tel.tracer, 0
 	}

@@ -245,3 +245,39 @@ func TestRunHybridMode(t *testing.T) {
 		}
 	}
 }
+
+// TestRunMixedPrecision smoke-tests the -precision.* flags: bf16 tables
+// on the single trainer, bf16 tables + int8 wire in hybrid mode (with
+// the dtype-aware analytic volumes in the collectives line), and flag
+// validation.
+func TestRunMixedPrecision(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-dense", "8", "-sparse", "2", "-hash", "100",
+		"-dim", "8", "-batch", "32", "-iters", "20", "-precision.tables", "bf16"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "precision: bf16 embedding tables") {
+		t.Errorf("missing precision line:\n%s", out.String())
+	}
+
+	out.Reset()
+	err = run([]string{"-mode", "hybrid", "-ranks", "2", "-dense", "8", "-sparse", "2",
+		"-hash", "100", "-dim", "8", "-batch", "32", "-iters", "20",
+		"-precision.tables", "bf16", "-precision.wire", "int8"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"wire int8", "collectives:", "analytic"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("hybrid output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	if err := run([]string{"-precision.tables", "fp8"}, &out); err == nil {
+		t.Error("unknown table dtype accepted")
+	}
+	if err := run([]string{"-precision.wire", "fp64"}, &out); err == nil {
+		t.Error("unknown wire format accepted")
+	}
+}

@@ -82,6 +82,11 @@ var speedupPairs = []struct{ key, fast, slow string }{
 	// ratio stays below 1.03 (tracing costs < 3%).
 	{"telemetry_overhead_single", "train_step", "train_step_traced"},
 	{"telemetry_overhead_hybrid", "hybrid_step", "hybrid_step_traced"},
+	// Mixed precision: the bf16-table + compressed-wire step over the
+	// fp32 step, and the int8-compressed pooled exchange over the fp32
+	// exchange on the same payload.
+	{"hybrid_bf16_vs_fp32", "hybrid_step_bf16", "hybrid_step"},
+	{"a2a_int8_vs_fp32", "a2a_int8_wire", "a2a_fp32_wire"},
 }
 
 // Run measures every spec and assembles the report.

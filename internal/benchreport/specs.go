@@ -4,8 +4,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"repro/internal/ckpt"
+	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/embedding"
@@ -164,6 +166,96 @@ func DefaultSpecs(filter string) []Spec {
 				for i := 0; i < iters; i++ {
 					ht.Step(batch)
 				}
+			},
+		})
+	}
+
+	// Mixed-precision hybrid step: same model and batch as hybrid_step
+	// but with bf16 embedding tables (fp32 masters, split-SGD) and
+	// bf16-compressed collective wires on both the pooled all-to-all and
+	// the dense all-reduce — the cheapest codec (two integer ops per
+	// element), halving every wire payload. Paired with hybrid_step in
+	// the hybrid_bf16_vs_fp32 speedup; the mixed_precision experiment
+	// validates the recipe's quality.
+	if want("hybrid_step_bf16") {
+		cfg := BenchStepConfig()
+		cfg.TableDType = tensor.BF16
+		gen := data.NewGenerator(cfg, 2, data.DefaultOptions())
+		batch := gen.NextBatch(benchBatch)
+		var ht *hybrid.Trainer
+		specs = append(specs, Spec{
+			Name:          "hybrid_step_bf16",
+			ExamplesPerOp: benchBatch,
+			Fn: func(iters int) {
+				if ht == nil {
+					var err error
+					if ht, err = hybrid.New(cfg, hybrid.Config{
+						Ranks: 2, LR: 0.05, Seed: 1,
+						WireA2A:       collective.WireBF16,
+						WireAllReduce: collective.WireBF16,
+					}); err != nil {
+						panic(err)
+					}
+				}
+				for i := 0; i < iters; i++ {
+					ht.Step(batch)
+				}
+			},
+		})
+	}
+
+	// Pooled-embedding exchange in isolation: a 2-rank AllToAllV over a
+	// hybrid_step-sized payload, fp32 wire vs int8-compressed wire. The
+	// a2a_int8_vs_fp32 speedup isolates what the per-chunk-scaled codec
+	// buys (and costs) on the wire path alone.
+	for _, v := range []struct {
+		name string
+		wire collective.WireFormat
+	}{
+		{"a2a_fp32_wire", collective.WireFP32},
+		{"a2a_int8_wire", collective.WireINT8},
+	} {
+		if !want(v.name) {
+			continue
+		}
+		wire := v.wire
+		// Per direction: the pooled rows hybrid_step exchanges each
+		// iteration (batch · tables · dim elements, split across peers).
+		const elems = benchBatch * 8 * 32
+		world := collective.NewWorld(2, collective.PerfectLink())
+		groups := make([]*collective.Group, 2)
+		send := make([][][]float32, 2)
+		recv := make([][][]float32, 2)
+		g := world.NewGroup()
+		g.SetWire(wire)
+		rng := xrand.New(7)
+		for r := 0; r < 2; r++ {
+			groups[r] = g
+			send[r] = [][]float32{make([]float32, elems/2), make([]float32, elems/2)}
+			recv[r] = [][]float32{make([]float32, elems/2), make([]float32, elems/2)}
+			for _, s := range send[r] {
+				for i := range s {
+					s[i] = float32(rng.Norm())
+				}
+			}
+		}
+		specs = append(specs, Spec{
+			Name:          v.name,
+			ExamplesPerOp: benchBatch,
+			Fn: func(iters int) {
+				var wg sync.WaitGroup
+				for r := 0; r < 2; r++ {
+					wg.Add(1)
+					go func(rank int) {
+						defer wg.Done()
+						for i := 0; i < iters; i++ {
+							if err := groups[rank].AllToAllV(rank, send[rank], recv[rank]); err != nil {
+								panic(err)
+							}
+						}
+					}(r)
+				}
+				wg.Wait()
 			},
 		})
 	}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/tensor"
 )
 
 const (
@@ -47,10 +48,31 @@ type Entry struct {
 	OwnerRank int `json:"owner_rank"`
 }
 
-// TableDims fingerprints one table's geometry.
+// TableDims fingerprints one table's geometry and storage dtype.
+// DType is empty for fp32 (keeping pre-dtype manifests readable) and
+// "bf16"/"fp16" for reduced-precision tables.
 type TableDims struct {
-	Rows int `json:"rows"`
-	Dim  int `json:"dim"`
+	Rows  int    `json:"rows"`
+	Dim   int    `json:"dim"`
+	DType string `json:"dtype,omitempty"`
+}
+
+// dtypeLabel renders a storage dtype for manifests and shard headers:
+// fp32 maps to "" so full-precision checkpoints are byte-stable across
+// the dtype introduction.
+func dtypeLabel(dt tensor.DType) string {
+	if dt == tensor.FP32 {
+		return ""
+	}
+	return dt.String()
+}
+
+// orFP32 renders a manifest dtype label for error messages.
+func orFP32(s string) string {
+	if s == "" {
+		return "fp32"
+	}
+	return s
 }
 
 // Fingerprint pins the model geometry a checkpoint belongs to; restore
@@ -246,7 +268,7 @@ func fingerprintOf(st *ModelState) Fingerprint {
 		fp.DenseParams = append(fp.DenseParams, len(p))
 	}
 	for _, t := range st.Tables {
-		fp.Tables = append(fp.Tables, TableDims{Rows: t.HashSize, Dim: t.Dim})
+		fp.Tables = append(fp.Tables, TableDims{Rows: t.HashSize, Dim: t.Dim, DType: dtypeLabel(t.DType)})
 	}
 	return fp
 }
@@ -273,8 +295,9 @@ func checkFingerprint(name string, man *Manifest, st *ModelState) error {
 	}
 	for i, td := range man.Model.Tables {
 		if td != fp.Tables[i] {
-			return fmt.Errorf("ckpt: %s table %d is %dx%d, state is %dx%d",
-				name, i, td.Rows, td.Dim, fp.Tables[i].Rows, fp.Tables[i].Dim)
+			return fmt.Errorf("ckpt: %s table %d is %dx%d %s, state is %dx%d %s",
+				name, i, td.Rows, td.Dim, orFP32(td.DType),
+				fp.Tables[i].Rows, fp.Tables[i].Dim, orFP32(fp.Tables[i].DType))
 		}
 	}
 	return nil
@@ -456,6 +479,7 @@ func encodeTableFull(e *enc, st *ModelState, ti int) {
 	e.u32(uint32(ti))
 	e.u32(uint32(tab.HashSize))
 	e.u32(uint32(tab.Dim))
+	e.u8(uint8(tab.DType))
 	e.f32s(tab.Weights.Data)
 	if acc := st.sparseAccum(ti); acc != nil {
 		e.u8(1)
@@ -474,6 +498,7 @@ func encodeTableDelta(e *enc, st *ModelState, ti int, d *Dirty) {
 	e.u32(uint32(ti))
 	e.u32(uint32(tab.HashSize))
 	e.u32(uint32(tab.Dim))
+	e.u8(uint8(tab.DType))
 	e.u32(uint32(d.Count()))
 	d.ForEach(func(row int32) { e.i32(row) })
 	d.ForEach(func(row int32) { e.f32s(tab.Weights.Row(int(row))) })
@@ -515,6 +540,14 @@ func decodeTable(d *dec, st *ModelState, wantTable int) error {
 		return fmt.Errorf("ckpt: shard %s is %dx%d, table %d is %dx%d",
 			d.file, rows, dim, ti, tab.HashSize, tab.Dim)
 	}
+	dtByte, err := d.u8()
+	if err != nil {
+		return err
+	}
+	if tensor.DType(dtByte) != tab.DType {
+		return fmt.Errorf("ckpt: shard %s stores dtype %s, table %d is %s",
+			d.file, tensor.DType(dtByte), ti, tab.DType)
+	}
 	acc := st.sparseAccum(ti)
 	if magic == magicTableFull {
 		if err := d.f32s(tab.Weights.Data); err != nil {
@@ -532,6 +565,7 @@ func decodeTable(d *dec, st *ModelState, wantTable int) error {
 				return err
 			}
 		}
+		tab.SyncAll()
 		return d.done()
 	}
 	count, err := d.u32()
@@ -556,6 +590,7 @@ func decodeTable(d *dec, st *ModelState, wantTable int) error {
 		if err := d.f32s(tab.Weights.Row(int(id))); err != nil {
 			return err
 		}
+		tab.SyncRow(int(id))
 	}
 	flag, err := d.u8()
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/embedding"
 	"repro/internal/telemetry"
+	"repro/internal/tensor"
 	"repro/internal/xrand"
 )
 
@@ -610,5 +611,135 @@ func TestStoreMeters(t *testing.T) {
 	}
 	if ck != 2 || rs != 1 {
 		t.Fatalf("trace has %d checkpoint / %d restore spans, want 2 / 1", ck, rs)
+	}
+}
+
+// typedState is testState with reduced-precision tables: one bf16, one
+// fp16, one fp32, all with row-wise accumulators.
+func typedState(seed int64) *ModelState {
+	rng := xrand.New(seed)
+	st := &ModelState{
+		Optimizer: "adagrad",
+		Ranks:     1,
+		Owner:     []int{0, 0, 0},
+	}
+	for i, dt := range []tensor.DType{tensor.BF16, tensor.FP16, tensor.FP32} {
+		tab := embedding.NewTableTyped("t", 40+8*i, 8, dt, rng)
+		st.Tables = append(st.Tables, tab)
+		acc := make([]float32, tab.HashSize)
+		for j := range acc {
+			acc[j] = rng.Float32()
+		}
+		st.SparseAccum = append(st.SparseAccum, acc)
+	}
+	p := make([]float32, 16)
+	a := make([]float32, 16)
+	for j := range p {
+		p[j] = rng.Float32()
+		a[j] = rng.Float32()
+	}
+	st.Dense = append(st.Dense, p)
+	st.DenseAccum = append(st.DenseAccum, a)
+	return st
+}
+
+// assertReplicaSynced checks that each table's lookup path (which reads
+// the reduced-precision replica) returns exactly the re-quantized fp32
+// master — i.e. restore re-synced the replica.
+func assertReplicaSynced(t *testing.T, st *ModelState) {
+	t.Helper()
+	for ti, tab := range st.Tables {
+		out := tensor.New(1, tab.Dim)
+		enc := make([]uint16, tab.Dim)
+		dec := make([]float32, tab.Dim)
+		for _, row := range []int{0, tab.HashSize / 2, tab.HashSize - 1} {
+			bag := embedding.NewBag([][]int32{{int32(row)}})
+			tab.Forward(bag, out)
+			want := tab.Weights.Row(row)
+			if tab.DType != tensor.FP32 {
+				tensor.Encode(tab.DType, enc, want)
+				tensor.Decode(tab.DType, dec, enc)
+				want = dec
+			}
+			for j := range want {
+				if out.Row(0)[j] != want[j] {
+					t.Fatalf("table %d (%s) row %d col %d: lookup %v, master implies %v",
+						ti, tab.DType, row, j, out.Row(0)[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestReducedPrecisionSaveRestore(t *testing.T) {
+	st := typedState(11)
+	st.Step = 7
+	want := snapshot(st)
+
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.SaveFull(st, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scramble the masters AND re-sync the replicas, so a restore that
+	// forgets to re-quantize leaves stale scrambled replicas behind.
+	scramble(st)
+	for _, tab := range st.Tables {
+		tab.SyncAll()
+	}
+	if _, err := store.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	assertEqualSnapshot(t, want, st)
+	assertReplicaSynced(t, st)
+
+	// Delta shards must carry and re-sync the dtype too.
+	dirty := newDirtySet(st)
+	rng := xrand.New(13)
+	for ti, tab := range st.Tables {
+		for _, row := range []int32{1, 5} {
+			r := tab.Weights.Row(int(row))
+			for j := range r {
+				r[j] = rng.Float32()
+			}
+			tab.SyncRow(int(row))
+			dirty[ti].Mark([]int32{row})
+		}
+	}
+	st.Step = 8
+	want = snapshot(st)
+	if _, err := store.SaveDelta(st, dirty); err != nil {
+		t.Fatal(err)
+	}
+	scramble(st)
+	for _, tab := range st.Tables {
+		tab.SyncAll()
+	}
+	if _, err := store.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	assertEqualSnapshot(t, want, st)
+	assertReplicaSynced(t, st)
+}
+
+func TestFingerprintDTypeMismatch(t *testing.T) {
+	st := typedState(12)
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.SaveFull(st, nil); err != nil {
+		t.Fatal(err)
+	}
+	other := typedState(12)
+	rng := xrand.New(12)
+	other.Tables[0] = embedding.NewTableTyped("t", other.Tables[0].HashSize, 8, tensor.FP32, rng)
+	if _, err := store.Restore(other); err == nil {
+		t.Fatal("restore accepted a checkpoint with a different table dtype")
+	} else if !strings.Contains(err.Error(), "bf16") {
+		t.Fatalf("dtype mismatch error should name the dtype, got: %v", err)
 	}
 }

@@ -191,7 +191,13 @@ func (w *World) Stats() map[string]OpStats {
 // groups (the hybrid trainer overlaps its dense all-reduce with the
 // sparse-gradient all-to-all this way).
 func (w *World) NewGroup() *Group {
-	g := &Group{w: w, bufs: make([][]float32, w.n), vecs: make([][][]float32, w.n)}
+	g := &Group{
+		w:       w,
+		bufs:    make([][]float32, w.n),
+		vecs:    make([][][]float32, w.n),
+		a2aWire: make([][][]byte, w.n),
+		arWire:  make([][]byte, w.n),
+	}
 	g.bar.n = w.n
 	g.bar.cond = sync.NewCond(&g.bar.mu)
 	w.mu.Lock()
@@ -272,6 +278,14 @@ type Group struct {
 	bufs    [][]float32   // scalar payload slots
 	vecs    [][][]float32 // vector payload slots (all-to-all-v)
 	unmeter bool          // see MeterWaits
+
+	// compressed wire state (see wire.go): the format, per-rank
+	// per-peer all-to-all encode slots, and per-rank all-reduce chunk
+	// slots. Scratch grows in place, so steady-state compressed
+	// collectives allocate nothing.
+	wire    WireFormat
+	a2aWire [][][]byte
+	arWire  [][]byte
 }
 
 // MeterWaits controls whether this group's rendezvous waits feed the
@@ -320,6 +334,9 @@ func (g *Group) AllReduce(rank int, buf []float32) error {
 	if n == 1 {
 		g.w.stats[OpAllReduce].add(0, 0)
 		return nil
+	}
+	if g.wire != WireFP32 {
+		return g.allReduceWire(rank, buf)
 	}
 	g.bufs[rank] = buf
 	if err := g.wait(rank); err != nil {
@@ -373,6 +390,9 @@ func (g *Group) AllToAllV(rank int, send, recv [][]float32) error {
 	n := g.w.n
 	if len(send) != n || len(recv) != n {
 		panic(fmt.Sprintf("collective: alltoallv needs %d send/recv slots, got %d/%d", n, len(send), len(recv)))
+	}
+	if g.wire != WireFP32 && n > 1 {
+		return g.allToAllVWire(rank, send, recv)
 	}
 	g.vecs[rank] = send
 	if err := g.wait(rank); err != nil {

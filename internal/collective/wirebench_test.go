@@ -1,0 +1,28 @@
+package collective
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func benchCodec(b *testing.B, w WireFormat) {
+	src := make([]float32, 16384)
+	dst := make([]float32, 16384)
+	rng := xrand.New(1)
+	for i := range src {
+		src[i] = float32(rng.Norm())
+	}
+	var enc []byte
+	enc = encodeWire(w, enc[:0], src)
+	b.SetBytes(int64(4 * len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc = encodeWire(w, enc[:0], src)
+		decodeWire(w, dst, enc)
+	}
+}
+
+func BenchmarkWireCodecBF16(b *testing.B) { benchCodec(b, WireBF16) }
+func BenchmarkWireCodecFP16(b *testing.B) { benchCodec(b, WireFP16) }
+func BenchmarkWireCodecINT8(b *testing.B) { benchCodec(b, WireINT8) }

@@ -14,6 +14,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/tensor"
 )
 
 // Interaction selects how dense and sparse representations are combined
@@ -56,6 +58,9 @@ type SparseFeature struct {
 	// MaxPooled truncates per-example lookups; the paper's test suite
 	// uses 32 (§V).
 	MaxPooled int
+	// DType overrides the config-wide TableDType for this feature's
+	// table. Zero (FP32) means "no override" — use Config.TableDType.
+	DType tensor.DType
 }
 
 // Config fully describes a DLRM instance. It is the unit of exchange
@@ -77,6 +82,21 @@ type Config struct {
 	// 1-wide logit layer is appended automatically.
 	TopMLP      []int
 	Interaction Interaction
+	// TableDType is the lookup-path storage precision for every
+	// embedding table (per-feature SparseFeature.DType overrides it).
+	// FP32 (the zero value) keeps the historical full-precision
+	// storage; BF16/FP16 store quantized replicas read by lookups while
+	// optimizer math stays on fp32 masters (split-SGD).
+	TableDType tensor.DType
+}
+
+// DTypeOf resolves the storage dtype of table ti: the per-feature
+// override when set, the config-wide TableDType otherwise.
+func (c *Config) DTypeOf(ti int) tensor.DType {
+	if d := c.Sparse[ti].DType; d != tensor.FP32 {
+		return d
+	}
+	return c.TableDType
 }
 
 // Validate checks structural invariants.
@@ -133,12 +153,14 @@ func (c *Config) TopDims() []int {
 	return append(dims, 1)
 }
 
-// EmbeddingBytes returns the total fp32 embedding storage the config
-// implies. This is the capacity number that drives placement decisions.
+// EmbeddingBytes returns the total lookup-path embedding storage the
+// config implies, honoring per-table dtypes: reduced-precision tables
+// count their quantized replica width. This is the capacity number that
+// drives placement decisions.
 func (c *Config) EmbeddingBytes() int64 {
 	var b int64
-	for _, s := range c.Sparse {
-		b += int64(s.HashSize) * int64(c.EmbeddingDim) * 4
+	for i, s := range c.Sparse {
+		b += int64(s.HashSize) * int64(c.EmbeddingDim) * int64(c.DTypeOf(i).Bytes())
 	}
 	return b
 }
@@ -210,7 +232,7 @@ func (c *Config) TableStats() []TableStatView {
 			Index:      i,
 			Name:       s.Name,
 			HashSize:   s.HashSize,
-			Bytes:      int64(s.HashSize) * int64(c.EmbeddingDim) * 4,
+			Bytes:      int64(s.HashSize) * int64(c.EmbeddingDim) * int64(c.DTypeOf(i).Bytes()),
 			MeanPooled: s.MeanPooled,
 		}
 	}

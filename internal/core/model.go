@@ -121,8 +121,9 @@ func NewModel(cfg Config, rng *xrand.RNG) *Model {
 	m := &Model{Cfg: cfg, embScratch: embedding.NewScratch()}
 	m.Bottom = nn.NewMLP(cfg.BottomDims(), rng)
 	m.Top = nn.NewMLP(cfg.TopDims(), rng)
-	for _, s := range cfg.Sparse {
-		m.Tables = append(m.Tables, embedding.NewTable(s.Name, s.HashSize, cfg.EmbeddingDim, rng))
+	for i, s := range cfg.Sparse {
+		m.Tables = append(m.Tables,
+			embedding.NewTableTyped(s.Name, s.HashSize, cfg.EmbeddingDim, cfg.DTypeOf(i), rng))
 	}
 	return m
 }
@@ -144,8 +145,7 @@ func (m *Model) ShareWeights() *Model {
 func (m *Model) Clone() *Model {
 	c := &Model{Cfg: m.Cfg, Bottom: m.Bottom.Clone(), Top: m.Top.Clone(), embScratch: embedding.NewScratch()}
 	for _, t := range m.Tables {
-		nt := &embedding.Table{Name: t.Name, HashSize: t.HashSize, Dim: t.Dim, Weights: t.Weights.Clone()}
-		c.Tables = append(c.Tables, nt)
+		c.Tables = append(c.Tables, t.Clone())
 	}
 	return c
 }

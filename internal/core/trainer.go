@@ -207,6 +207,7 @@ func (m *Model) LoadWeights(r io.Reader) error {
 			return fmt.Errorf("core: table %d length %d != %d", i, len(snap.Tables[i]), len(t.Weights.Data))
 		}
 		copy(t.Weights.Data, snap.Tables[i])
+		t.SyncAll()
 	}
 	return nil
 }

@@ -80,8 +80,17 @@ func (t *Table) BagForwardDedup(bag Bag, d *DedupIndex, out *tensor.Matrix, sc *
 	}
 	dim := t.Dim
 	sc.gather = ensureSlab(sc.gather, len(d.Unique)*dim)
-	for u, ix := range d.Unique {
-		copy(sc.gather[u*dim:(u+1)*dim], t.Weights.Row(int(ix)))
+	if t.DType == tensor.FP32 {
+		for u, ix := range d.Unique {
+			copy(sc.gather[u*dim:(u+1)*dim], t.Weights.Row(int(ix)))
+		}
+	} else {
+		// Decode each unique reduced-precision row once; pooling below
+		// then adds the same decoded values the plain kernel's fused
+		// adds produce, keeping the two paths bit-identical.
+		for u, ix := range d.Unique {
+			tensor.Decode(t.DType, sc.gather[u*dim:(u+1)*dim], t.halfRow(int(ix)))
+		}
 	}
 	for i := 0; i < bag.Batch(); i++ {
 		row := out.Row(i)

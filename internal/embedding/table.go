@@ -78,8 +78,17 @@ type Table struct {
 	Dim      int
 	// Weights is the hashSize×dim parameter matrix. Hogwild workers
 	// share it and update it without locks, as in the paper's CPU
-	// training stack.
+	// training stack. With a reduced DType this is the fp32 master
+	// copy: optimizer math runs here (split-SGD, Kalamkar et al.) and
+	// the lookup path reads the quantized replica below.
 	Weights *tensor.Matrix
+	// DType is the lookup-path storage precision. FP32 tables read
+	// Weights directly; BF16/FP16 tables read half and must SyncRow
+	// after every master-row update.
+	DType tensor.DType
+	// half is the hashSize×dim reduced-precision replica (nil for
+	// fp32), kept in sync with Weights by SyncRow/SyncAll.
+	half []uint16
 
 	// lookups counts individual row accesses (striped atomics; shared
 	// across workers). The trace package uses it for the Fig 6/7 style
@@ -87,9 +96,16 @@ type Table struct {
 	lookups stripedCount
 }
 
-// NewTable allocates and initializes a table. Rows are initialized
-// uniformly in ±1/√dim, the conventional DLRM scheme.
+// NewTable allocates and initializes an fp32 table. Rows are
+// initialized uniformly in ±1/√dim, the conventional DLRM scheme.
 func NewTable(name string, hashSize, dim int, rng *xrand.RNG) *Table {
+	return NewTableTyped(name, hashSize, dim, tensor.FP32, rng)
+}
+
+// NewTableTyped allocates a table whose lookup path stores dt. Reduced
+// dtypes allocate the quantized replica alongside the fp32 master and
+// seed it from the initial weights.
+func NewTableTyped(name string, hashSize, dim int, dt tensor.DType, rng *xrand.RNG) *Table {
 	if hashSize <= 0 || dim <= 0 {
 		panic(fmt.Sprintf("embedding: invalid table %s size %dx%d", name, hashSize, dim))
 	}
@@ -97,11 +113,58 @@ func NewTable(name string, hashSize, dim int, rng *xrand.RNG) *Table {
 		Name:     name,
 		HashSize: hashSize,
 		Dim:      dim,
+		DType:    dt,
 		Weights:  tensor.New(hashSize, dim),
 	}
 	bound := float32(1.0 / math.Sqrt(float64(dim)))
 	tensor.UniformInit(t.Weights, bound, rng)
+	if dt != tensor.FP32 {
+		t.half = make([]uint16, hashSize*dim)
+		t.SyncAll()
+	}
 	return t
+}
+
+// Clone deep-copies the table (master weights, reduced replica, dtype).
+// The lookup counter starts fresh.
+func (t *Table) Clone() *Table {
+	c := &Table{
+		Name:     t.Name,
+		HashSize: t.HashSize,
+		Dim:      t.Dim,
+		DType:    t.DType,
+		Weights:  t.Weights.Clone(),
+	}
+	if t.half != nil {
+		c.half = make([]uint16, len(t.half))
+		copy(c.half, t.half)
+	}
+	return c
+}
+
+// halfRow returns row ix of the reduced-precision replica.
+func (t *Table) halfRow(ix int) []uint16 {
+	return t.half[ix*t.Dim : (ix+1)*t.Dim]
+}
+
+// SyncRow re-quantizes row ix of the fp32 master into the reduced
+// replica. Split-SGD: optimizers update the master and call this for
+// every touched row, so quantization error never accumulates in the
+// optimizer state. No-op for fp32 tables.
+func (t *Table) SyncRow(ix int) {
+	if t.half == nil {
+		return
+	}
+	tensor.Encode(t.DType, t.halfRow(ix), t.Weights.Row(ix))
+}
+
+// SyncAll re-quantizes the entire table (bulk weight load, checkpoint
+// restore) through the worker pool. No-op for fp32 tables.
+func (t *Table) SyncAll() {
+	if t.half == nil {
+		return
+	}
+	tensor.ParallelEncode(t.DType, t.half, t.Weights.Data)
 }
 
 // FNV-1a 64-bit parameters (offset basis and prime).
@@ -124,9 +187,13 @@ func (t *Table) HashIndex(rawID uint64) int32 {
 	return int32(h % uint64(t.HashSize))
 }
 
-// Bytes returns the parameter storage footprint in bytes (fp32).
+// Bytes returns the lookup-path storage footprint in bytes: the bytes
+// the serving/forward path actually touches, which is what tier
+// placement prices. Reduced-precision tables count the quantized
+// replica width (the fp32 master is optimizer state, not lookup
+// traffic).
 func (t *Table) Bytes() int64 {
-	return int64(t.HashSize) * int64(t.Dim) * 4
+	return int64(t.HashSize) * int64(t.Dim) * int64(t.DType.Bytes())
 }
 
 // Lookups returns the cumulative number of row accesses served.
@@ -208,11 +275,28 @@ func (t *Table) bagForward(bag Bag, out *tensor.Matrix, stripe int) {
 		}
 		idxs := bag.Indices[bag.Offsets[i]:bag.Offsets[i+1]]
 		k := 0
-		for ; k+2 <= len(idxs); k += 2 {
-			tensor.AddTo2(row, t.Weights.Row(int(idxs[k])), t.Weights.Row(int(idxs[k+1])))
-		}
-		if k < len(idxs) {
-			tensor.AddTo(row, t.Weights.Row(int(idxs[k])))
+		switch t.DType {
+		case tensor.BF16:
+			for ; k+2 <= len(idxs); k += 2 {
+				tensor.AddBF16To2(row, t.halfRow(int(idxs[k])), t.halfRow(int(idxs[k+1])))
+			}
+			if k < len(idxs) {
+				tensor.AddBF16To(row, t.halfRow(int(idxs[k])))
+			}
+		case tensor.FP16:
+			for ; k+2 <= len(idxs); k += 2 {
+				tensor.AddFP16To2(row, t.halfRow(int(idxs[k])), t.halfRow(int(idxs[k+1])))
+			}
+			if k < len(idxs) {
+				tensor.AddFP16To(row, t.halfRow(int(idxs[k])))
+			}
+		default:
+			for ; k+2 <= len(idxs); k += 2 {
+				tensor.AddTo2(row, t.Weights.Row(int(idxs[k])), t.Weights.Row(int(idxs[k+1])))
+			}
+			if k < len(idxs) {
+				tensor.AddTo(row, t.Weights.Row(int(idxs[k])))
+			}
 		}
 	}
 	t.lookups.add(stripe, uint64(bag.TotalLookups()))

@@ -55,6 +55,7 @@ var registry = map[string]struct {
 	"elastic_recovery":      {"Elastic recovery: kill/restore/rejoin wall time, bytes restored, loss bit-identity (1/2/4 ranks)", elasticRecovery},
 	"hybrid_scaling":        {"Hybrid-parallel scaling: ranks x batch comm/compute breakdown (real collectives)", hybridScaling},
 	"ingest_scaling":        {"Ingestion scaling: readers per trainer, reader-bound vs trainer-bound crossover + RecD dedup", ingestScaling},
+	"mixed_precision":       {"Mixed precision: table dtype x wire format sweep, quality drift and wire-byte compression (1/2/4 ranks)", mixedPrecision},
 	"memtier":               {"Tiered memory: cache capacity vs hit rate vs throughput (MTrainS-style)", memtierSweep},
 	"straggler_analysis":    {"Straggler detection: imbalance index and doctor verdict under an injected per-step delay fault (1/2/4 ranks)", stragglerAnalysis},
 	"table1":                {"Table I: hardware platform details", table1},

@@ -7,8 +7,8 @@ import (
 
 func TestIDsStable(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 22 {
-		t.Fatalf("%d experiments registered, want 22", len(ids))
+	if len(ids) != 23 {
+		t.Fatalf("%d experiments registered, want 23", len(ids))
 	}
 	for _, id := range ids {
 		if Title(id) == "" {
@@ -156,5 +156,26 @@ func TestFig14CoversBothPlatforms(t *testing.T) {
 	}
 	if !strings.Contains(res.Output, "BigBasin") || !strings.Contains(res.Output, "Zion") {
 		t.Error("fig14 must cover both platforms")
+	}
+}
+
+// TestMixedPrecisionAcceptance pins the mixed_precision acceptance
+// shape: every reduced-precision variant stays inside the pinned loss
+// tolerance of the fp32 baseline at 1/2/4 ranks, the compressed wire
+// formats shrink collective traffic at least 2x, and the byte meters
+// match the dtype-aware analytic volumes within 2% (no WARNING rows).
+func TestMixedPrecisionAcceptance(t *testing.T) {
+	res, err := Run("mixed_precision", Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(res.Output, "WARNING") {
+		t.Errorf("mixed_precision reports violations:\n%s", res.Output)
+	}
+	for _, want := range []string{"bf16/int8", "fp16/fp16", "baseline",
+		"acceptance: all variants within tolerance", "split-SGD"} {
+		if !strings.Contains(res.Output, want) {
+			t.Errorf("mixed_precision output missing %q:\n%s", want, res.Output)
+		}
 	}
 }

@@ -80,6 +80,12 @@ type Config struct {
 	// 2·Ranks shards from TraceShard (Ranks otherwise).
 	Trace      *telemetry.Tracer
 	TraceShard int
+	// WireA2A compresses the pooled-activation and sparse-gradient
+	// all-to-alls; WireAllReduce compresses the bucketed dense-gradient
+	// all-reduce. The zero value (fp32) keeps the exact historical wire
+	// behavior; see collective.WireFormat for the formats.
+	WireA2A       collective.WireFormat
+	WireAllReduce collective.WireFormat
 }
 
 // ShardCount returns how many tracer shards a trainer with this config
@@ -236,6 +242,9 @@ func New(cfg core.Config, hc Config) (*Trainer, error) {
 	}
 
 	main, side, ar := t.world.NewGroup(), t.world.NewGroup(), t.world.NewGroup()
+	main.SetWire(hc.WireA2A)
+	side.SetWire(hc.WireA2A)
+	ar.SetWire(hc.WireAllReduce)
 	if hc.Overlap && hc.Ranks > 1 {
 		// The bucketed all-reduce runs on a background goroutine when
 		// overlapped: its rendezvous waits hide under compute, off the

@@ -74,10 +74,14 @@ type SparseSGD struct {
 	Table *embedding.Table
 }
 
-// Apply updates only the rows present in sg, in first-touch order.
+// Apply updates only the rows present in sg, in first-touch order. The
+// update lands on the fp32 master row; SyncRow then re-quantizes the
+// touched row into the table's reduced-precision replica (split-SGD —
+// a no-op for fp32 tables).
 func (s *SparseSGD) Apply(sg *embedding.SparseGrad) {
 	sg.ForEach(func(ix int32, g []float32) {
 		tensor.Axpy(-s.LR, g, s.Table.Weights.Row(int(ix)))
+		s.Table.SyncRow(int(ix))
 	})
 }
 
@@ -119,6 +123,9 @@ func (r *RowWiseAdagrad) Apply(sg *embedding.SparseGrad) {
 		r.accum[ix] += sq / dim
 		scale := -r.LR / (float32(math.Sqrt(float64(r.accum[ix]))) + r.Eps)
 		tensor.Axpy(scale, g, r.Table.Weights.Row(int(ix)))
+		// Split-SGD: accumulator and master stay fp32; only the lookup
+		// replica is re-quantized (no-op for fp32 tables).
+		r.Table.SyncRow(int(ix))
 	})
 }
 

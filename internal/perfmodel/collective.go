@@ -19,10 +19,21 @@ import "repro/internal/core"
 // direction; with table-wise sharding a (n-1)/n share of every row
 // crosses a rank boundary.
 func HybridAllToAllBytes(cfg core.Config, batch, ranks int) float64 {
+	return HybridAllToAllBytesWire(cfg, batch, ranks, 4)
+}
+
+// HybridAllToAllBytesWire is HybridAllToAllBytes with the wire width as
+// a parameter: bytesPerElem is 4 for fp32, 2 for fp16/bf16 and 1.0625
+// for int8 (collective.WireFormat.BytesPerElem). The int8 figure is
+// exact when every per-destination payload is a multiple of the 64-
+// element scale chunk (B·d·tables-per-rank usually is); ragged payloads
+// add one 4-byte scale per destination, well inside the crosscheck
+// tolerance.
+func HybridAllToAllBytesWire(cfg core.Config, batch, ranks int, bytesPerElem float64) float64 {
 	if ranks <= 1 {
 		return 0
 	}
-	pooled := float64(batch) * float64(cfg.NumSparse()) * float64(cfg.EmbeddingDim) * 4
+	pooled := float64(batch) * float64(cfg.NumSparse()) * float64(cfg.EmbeddingDim) * bytesPerElem
 	return 2 * pooled * float64(ranks-1) / float64(ranks)
 }
 
@@ -35,8 +46,16 @@ func HybridAllToAllBytes(cfg core.Config, batch, ranks int) float64 {
 // (each rank sends and receives a 2·(n-1)/n share of the gradient
 // vector, and n ranks participate).
 func HybridAllReduceBytes(cfg core.Config, ranks int) float64 {
+	return HybridAllReduceBytesWire(cfg, ranks, 4)
+}
+
+// HybridAllReduceBytesWire is HybridAllReduceBytes with the wire width
+// as a parameter (see HybridAllToAllBytesWire); the dense parameter
+// count is DenseParamBytes()/4.
+func HybridAllReduceBytesWire(cfg core.Config, ranks int, bytesPerElem float64) float64 {
 	if ranks <= 1 {
 		return 0
 	}
-	return 2 * float64(ranks-1) * float64(cfg.DenseParamBytes())
+	elems := float64(cfg.DenseParamBytes()) / 4
+	return 2 * float64(ranks-1) * elems * bytesPerElem
 }

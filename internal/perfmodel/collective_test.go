@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/hybrid"
@@ -25,29 +26,36 @@ func TestHybridMetersMatchAnalyticVolumes(t *testing.T) {
 		Interaction:   core.Concat,
 	}
 	const batch, steps = 96, 4
-	for _, ranks := range []int{2, 3, 4} {
-		ht, err := hybrid.New(cfg, hybrid.Config{Ranks: ranks, Seed: 1, LR: 0.05})
-		if err != nil {
-			t.Fatal(err)
-		}
-		gen := data.NewGenerator(cfg, 3, data.DefaultOptions())
-		for i := 0; i < steps; i++ {
-			ht.Step(gen.NextBatch(batch))
-		}
-		st := ht.CollectiveStats()
-		ht.Close()
+	wires := []collective.WireFormat{collective.WireFP32, collective.WireFP16, collective.WireINT8}
+	for _, wire := range wires {
+		for _, ranks := range []int{2, 3, 4} {
+			ht, err := hybrid.New(cfg, hybrid.Config{
+				Ranks: ranks, Seed: 1, LR: 0.05,
+				WireA2A: wire, WireAllReduce: wire,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen := data.NewGenerator(cfg, 3, data.DefaultOptions())
+			for i := 0; i < steps; i++ {
+				ht.Step(gen.NextBatch(batch))
+			}
+			st := ht.CollectiveStats()
+			ht.Close()
 
-		gotA2A := float64(st.AllToAll.Bytes) / steps
-		wantA2A := HybridAllToAllBytes(cfg, batch, ranks)
-		if rel := math.Abs(gotA2A-wantA2A) / wantA2A; rel > 0.02 {
-			t.Errorf("ranks=%d: all-to-all %.0f bytes/iter, analytic %.0f (off %.1f%%)",
-				ranks, gotA2A, wantA2A, 100*rel)
-		}
-		gotAR := float64(st.AllReduce.Bytes) / steps
-		wantAR := HybridAllReduceBytes(cfg, ranks)
-		if rel := math.Abs(gotAR-wantAR) / wantAR; rel > 0.02 {
-			t.Errorf("ranks=%d: all-reduce %.0f bytes/iter, analytic %.0f (off %.1f%%)",
-				ranks, gotAR, wantAR, 100*rel)
+			bpe := wire.BytesPerElem()
+			gotA2A := float64(st.AllToAll.Bytes) / steps
+			wantA2A := HybridAllToAllBytesWire(cfg, batch, ranks, bpe)
+			if rel := math.Abs(gotA2A-wantA2A) / wantA2A; rel > 0.02 {
+				t.Errorf("wire=%v ranks=%d: all-to-all %.0f bytes/iter, analytic %.0f (off %.1f%%)",
+					wire, ranks, gotA2A, wantA2A, 100*rel)
+			}
+			gotAR := float64(st.AllReduce.Bytes) / steps
+			wantAR := HybridAllReduceBytesWire(cfg, ranks, bpe)
+			if rel := math.Abs(gotAR-wantAR) / wantAR; rel > 0.02 {
+				t.Errorf("wire=%v ranks=%d: all-reduce %.0f bytes/iter, analytic %.0f (off %.1f%%)",
+					wire, ranks, gotAR, wantAR, 100*rel)
+			}
 		}
 	}
 }
@@ -71,5 +79,16 @@ func TestHybridVolumeFormulas(t *testing.T) {
 	}
 	if got, want := HybridAllReduceBytes(cfg, 4), 6*float64(cfg.DenseParamBytes()); got != want {
 		t.Errorf("all-reduce %v, want %v", got, want)
+	}
+	// Wire-width parameterization: fp16 halves both volumes, int8 is
+	// 1.0625 bytes/element, and bpe=4 reproduces the fp32 forms.
+	if got, want := HybridAllToAllBytesWire(cfg, 64, 4, 2), HybridAllToAllBytes(cfg, 64, 4)/2; got != want {
+		t.Errorf("fp16 all-to-all %v, want %v", got, want)
+	}
+	if got, want := HybridAllReduceBytesWire(cfg, 4, 1.0625), 6*float64(cfg.DenseParamBytes())/4*1.0625; got != want {
+		t.Errorf("int8 all-reduce %v, want %v", got, want)
+	}
+	if got, want := HybridAllToAllBytesWire(cfg, 64, 4, 4), HybridAllToAllBytes(cfg, 64, 4); got != want {
+		t.Errorf("bpe=4 all-to-all %v, want %v", got, want)
 	}
 }

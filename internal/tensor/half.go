@@ -1,0 +1,278 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// DType identifies the storage precision of a block of float values.
+// FP32 is the native compute format everywhere in the repo; BF16 and
+// FP16 are storage/wire formats that are always converted back to
+// float32 before any arithmetic (split-SGD keeps optimizer math fp32).
+type DType uint8
+
+const (
+	FP32 DType = iota
+	BF16
+	FP16
+)
+
+// Bytes reports the storage bytes per element of the dtype.
+func (d DType) Bytes() int {
+	if d == FP32 {
+		return 4
+	}
+	return 2
+}
+
+func (d DType) String() string {
+	switch d {
+	case FP32:
+		return "fp32"
+	case BF16:
+		return "bf16"
+	case FP16:
+		return "fp16"
+	}
+	return fmt.Sprintf("dtype(%d)", uint8(d))
+}
+
+// ParseDType parses "fp32"/"bf16"/"fp16" (the flag and config spelling).
+func ParseDType(s string) (DType, error) {
+	switch s {
+	case "fp32", "float32", "":
+		return FP32, nil
+	case "bf16", "bfloat16":
+		return BF16, nil
+	case "fp16", "float16", "half":
+		return FP16, nil
+	}
+	return FP32, fmt.Errorf("unknown dtype %q (want fp32, bf16 or fp16)", s)
+}
+
+// F32ToBF16 converts with round-to-nearest-even. NaN payloads survive a
+// bf16→fp32→bf16 round trip bit-identically: the top 16 bits are kept,
+// and a payload living entirely in the dropped bits is pinned to a
+// quiet-ish NaN (low bit set) so it cannot collapse to Inf.
+func F32ToBF16(f float32) uint16 {
+	b := math.Float32bits(f)
+	if b&0x7fffffff > 0x7f800000 { // NaN
+		u := uint16(b >> 16)
+		if u&0x7f == 0 {
+			u |= 1
+		}
+		return u
+	}
+	b += 0x7fff + (b>>16)&1 // round to nearest, ties to even
+	return uint16(b >> 16)
+}
+
+// BF16ToF32 widens a bfloat16 value. Exact (bf16 is a prefix of fp32).
+func BF16ToF32(u uint16) float32 {
+	return math.Float32frombits(uint32(u) << 16)
+}
+
+// F32ToFP16 converts to IEEE 754 binary16 with round-to-nearest-even,
+// handling subnormals, overflow to ±Inf, and NaN payload preservation.
+func F32ToFP16(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & 0x8000
+	b &= 0x7fffffff
+	switch {
+	case b > 0x7f800000: // NaN: keep the top payload bits, stay a NaN
+		m := uint16((b >> 13) & 0x3ff)
+		if m == 0 {
+			m = 0x200
+		}
+		return sign | 0x7c00 | m
+	case b >= 0x477ff000: // >= 65520 rounds past the max finite half
+		return sign | 0x7c00
+	case b >= 0x38800000: // normal half range [2^-14, 65504]
+		u := b - 0x38000000 // re-bias exponent 127 -> 15
+		u += 0xfff + ((u >> 13) & 1)
+		return sign | uint16(u>>13)
+	case b >= 0x33000000: // subnormal half range [2^-25, 2^-14)
+		e := int(b>>23) - 127
+		s := (b & 0x7fffff) | 0x800000
+		shift := uint(-e - 1) // in [14, 24]
+		q := s >> shift
+		rem := s & (1<<shift - 1)
+		round := uint32(1) << (shift - 1)
+		if rem > round || (rem == round && q&1 == 1) {
+			q++
+		}
+		return sign | uint16(q)
+	default: // underflows to signed zero
+		return sign
+	}
+}
+
+// FP16ToF32 widens an IEEE 754 binary16 value. Exact.
+func FP16ToF32(u uint16) float32 {
+	sign := uint32(u&0x8000) << 16
+	e := uint32(u>>10) & 0x1f
+	m := uint32(u & 0x3ff)
+	switch {
+	case e == 0x1f: // Inf / NaN
+		return math.Float32frombits(sign | 0x7f800000 | m<<13)
+	case e != 0: // normal
+		return math.Float32frombits(sign | (e+112)<<23 | m<<13)
+	case m != 0: // subnormal: normalize into the fp32 exponent range
+		e = 113
+		for m&0x400 == 0 {
+			m <<= 1
+			e--
+		}
+		return math.Float32frombits(sign | e<<23 | (m&0x3ff)<<13)
+	default:
+		return math.Float32frombits(sign)
+	}
+}
+
+// EncodeBF16 narrows src into dst (len(dst) >= len(src)).
+func EncodeBF16(dst []uint16, src []float32) {
+	dst = dst[:len(src)]
+	i := 0
+	for ; i+4 <= len(src); i += 4 {
+		dst[i] = F32ToBF16(src[i])
+		dst[i+1] = F32ToBF16(src[i+1])
+		dst[i+2] = F32ToBF16(src[i+2])
+		dst[i+3] = F32ToBF16(src[i+3])
+	}
+	for ; i < len(src); i++ {
+		dst[i] = F32ToBF16(src[i])
+	}
+}
+
+// DecodeBF16 widens src into dst (len(dst) >= len(src)).
+func DecodeBF16(dst []float32, src []uint16) {
+	dst = dst[:len(src)]
+	i := 0
+	for ; i+4 <= len(src); i += 4 {
+		dst[i] = BF16ToF32(src[i])
+		dst[i+1] = BF16ToF32(src[i+1])
+		dst[i+2] = BF16ToF32(src[i+2])
+		dst[i+3] = BF16ToF32(src[i+3])
+	}
+	for ; i < len(src); i++ {
+		dst[i] = BF16ToF32(src[i])
+	}
+}
+
+// EncodeFP16 narrows src into dst (len(dst) >= len(src)).
+func EncodeFP16(dst []uint16, src []float32) {
+	dst = dst[:len(src)]
+	i := 0
+	for ; i+4 <= len(src); i += 4 {
+		dst[i] = F32ToFP16(src[i])
+		dst[i+1] = F32ToFP16(src[i+1])
+		dst[i+2] = F32ToFP16(src[i+2])
+		dst[i+3] = F32ToFP16(src[i+3])
+	}
+	for ; i < len(src); i++ {
+		dst[i] = F32ToFP16(src[i])
+	}
+}
+
+// DecodeFP16 widens src into dst (len(dst) >= len(src)).
+func DecodeFP16(dst []float32, src []uint16) {
+	dst = dst[:len(src)]
+	i := 0
+	for ; i+4 <= len(src); i += 4 {
+		dst[i] = FP16ToF32(src[i])
+		dst[i+1] = FP16ToF32(src[i+1])
+		dst[i+2] = FP16ToF32(src[i+2])
+		dst[i+3] = FP16ToF32(src[i+3])
+	}
+	for ; i < len(src); i++ {
+		dst[i] = FP16ToF32(src[i])
+	}
+}
+
+// Encode narrows src into dst using dt. FP32 is invalid here (there is
+// no uint16 representation); callers gate on dt before reaching this.
+func Encode(dt DType, dst []uint16, src []float32) {
+	switch dt {
+	case BF16:
+		EncodeBF16(dst, src)
+	case FP16:
+		EncodeFP16(dst, src)
+	default:
+		panic("tensor: Encode called with dtype " + dt.String())
+	}
+}
+
+// Decode widens src into dst using dt.
+func Decode(dt DType, dst []float32, src []uint16) {
+	switch dt {
+	case BF16:
+		DecodeBF16(dst, src)
+	case FP16:
+		DecodeFP16(dst, src)
+	default:
+		panic("tensor: Decode called with dtype " + dt.String())
+	}
+}
+
+// AddBF16To accumulates dst[i] += bf16(src[i]) — the pooled-lookup hot
+// loop reading reduced-precision rows without a staging buffer.
+func AddBF16To(dst []float32, src []uint16) {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] += BF16ToF32(src[i])
+		dst[i+1] += BF16ToF32(src[i+1])
+		dst[i+2] += BF16ToF32(src[i+2])
+		dst[i+3] += BF16ToF32(src[i+3])
+	}
+	for ; i < n; i++ {
+		dst[i] += BF16ToF32(src[i])
+	}
+}
+
+// AddBF16To2 accumulates two bf16 rows into dst in one pass.
+func AddBF16To2(dst []float32, s0, s1 []uint16) {
+	n := len(dst)
+	i := 0
+	for ; i+2 <= n; i += 2 {
+		dst[i] += BF16ToF32(s0[i]) + BF16ToF32(s1[i])
+		dst[i+1] += BF16ToF32(s0[i+1]) + BF16ToF32(s1[i+1])
+	}
+	for ; i < n; i++ {
+		dst[i] += BF16ToF32(s0[i]) + BF16ToF32(s1[i])
+	}
+}
+
+// AddFP16To accumulates dst[i] += fp16(src[i]).
+func AddFP16To(dst []float32, src []uint16) {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] += FP16ToF32(src[i])
+		dst[i+1] += FP16ToF32(src[i+1])
+		dst[i+2] += FP16ToF32(src[i+2])
+		dst[i+3] += FP16ToF32(src[i+3])
+	}
+	for ; i < n; i++ {
+		dst[i] += FP16ToF32(src[i])
+	}
+}
+
+// AddFP16To2 accumulates two fp16 rows into dst in one pass.
+func AddFP16To2(dst []float32, s0, s1 []uint16) {
+	n := len(dst)
+	i := 0
+	for ; i+2 <= n; i += 2 {
+		dst[i] += FP16ToF32(s0[i]) + FP16ToF32(s1[i])
+		dst[i+1] += FP16ToF32(s0[i+1]) + FP16ToF32(s1[i+1])
+	}
+	for ; i < n; i++ {
+		dst[i] += FP16ToF32(s0[i]) + FP16ToF32(s1[i])
+	}
+}

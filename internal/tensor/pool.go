@@ -27,7 +27,14 @@ const (
 	kMatMulTransB
 	kMatMulTransA
 	kMatMulTransAAcc
+	kEncodeHalf
+	kDecodeHalf
 )
+
+// convChunk is the element-block granularity for pooled dtype
+// conversions: jobs partition the flat element space into blocks of
+// this size and the row cursor walks blocks instead of matrix rows.
+const convChunk = 4096
 
 // job is one parallel kernel invocation over the row space [0, rows).
 type job struct {
@@ -36,6 +43,11 @@ type job struct {
 	a, b *Matrix
 	bias []float32
 	relu bool
+
+	// dtype-conversion operands (kEncodeHalf / kDecodeHalf)
+	hu []uint16
+	hf []float32
+	dt DType
 
 	rows   int
 	chunk  int
@@ -56,7 +68,25 @@ func (j *job) runRange(r0, r1 int) {
 		matMulTransARange(j.dst, j.a, j.b, r0, r1)
 	case kMatMulTransAAcc:
 		matMulTransAAccRange(j.dst, j.a, j.b, r0, r1)
+	case kEncodeHalf:
+		lo, hi := convRange(r0, r1, len(j.hf))
+		Encode(j.dt, j.hu[lo:hi], j.hf[lo:hi])
+	case kDecodeHalf:
+		lo, hi := convRange(r0, r1, len(j.hu))
+		Decode(j.dt, j.hf[lo:hi], j.hu[lo:hi])
 	}
+}
+
+// convRange maps a block range onto element bounds clamped to n.
+func convRange(r0, r1, n int) (int, int) {
+	lo, hi := r0*convChunk, r1*convChunk
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
 }
 
 // drain claims chunks from the cursor until the row space is exhausted.
@@ -141,5 +171,58 @@ fanout:
 	j.drain()
 	j.done.Wait()
 	j.dst, j.a, j.b, j.bias = nil, nil, nil, nil
+	j.hu, j.hf = nil, nil
 	jobPool.Put(j)
+}
+
+// dispatchConv runs a bulk dtype conversion over n elements, serially
+// below the work threshold and through the worker pool above it. The
+// conversion kernels cost a handful of integer ops per element, so the
+// work estimate is 4*n to share parallelThreshold's FLOP scale.
+func dispatchConv(kind kernelKind, dt DType, u []uint16, f []float32, n int) {
+	if n == 0 {
+		return
+	}
+	blocks := (n + convChunk - 1) / convChunk
+	if 4*n < parallelThreshold || blocks < 2 || runtime.GOMAXPROCS(0) < 2 {
+		j := job{kind: kind, dt: dt, hu: u, hf: f}
+		j.runRange(0, blocks)
+		return
+	}
+	poolOnce.Do(startPool)
+	j := jobPool.Get().(*job)
+	j.kind, j.dt, j.hu, j.hf = kind, dt, u, f
+	j.dst, j.a, j.b, j.bias, j.relu = nil, nil, nil, nil, false
+	j.rows = blocks
+	j.chunk = blocks / (4 * (poolWorkers + 1))
+	if j.chunk < 1 {
+		j.chunk = 1
+	}
+	j.cursor.Store(0)
+fanout:
+	for i := 0; i < poolWorkers; i++ {
+		j.done.Add(1)
+		select {
+		case poolCh <- j:
+		default:
+			j.done.Done()
+			break fanout
+		}
+	}
+	j.drain()
+	j.done.Wait()
+	j.hu, j.hf = nil, nil
+	jobPool.Put(j)
+}
+
+// ParallelEncode narrows src into dst[:len(src)] using dt, spreading
+// element blocks across the worker pool for large slices (bulk table
+// re-quantization); small slices run serially and allocation-free.
+func ParallelEncode(dt DType, dst []uint16, src []float32) {
+	dispatchConv(kEncodeHalf, dt, dst[:len(src)], src, len(src))
+}
+
+// ParallelDecode widens src into dst[:len(src)] using dt.
+func ParallelDecode(dt DType, dst []float32, src []uint16) {
+	dispatchConv(kDecodeHalf, dt, src, dst[:len(src)], len(src))
 }

@@ -2,7 +2,7 @@
 // reproduction of "Understanding Training Efficiency of Deep Learning
 // Recommendation Models at Scale" (HPCA 2021).
 //
-// It bundles nine capabilities:
+// It bundles ten capabilities:
 //
 //   - a real DLRM training stack (models, embedding tables, optimizers,
 //     synthetic click data, single-node and distributed trainers) whose
@@ -52,6 +52,13 @@
 //     with periodic compaction, a fault-injection seam in the
 //     collectives, and a kill→restore→rejoin recovery loop whose
 //     resumed loss curve is bit-identical to an uninterrupted run;
+//   - mixed-precision training (internal/tensor, internal/collective):
+//     bf16/fp16 embedding-table storage with fp32 master weights and
+//     split-SGD row re-quantization, plus compressed collective wire
+//     formats (fp16/bf16 halving and int8 per-chunk-scaled quartering
+//     of the all-to-all and all-reduce payloads), validated by the
+//     mixed_precision experiment against the fp32 loss baseline and
+//     the dtype-aware analytic volumes;
 //   - runners that regenerate every table and figure of the paper's
 //     evaluation, plus an MTrainS-style tiered-memory sweep, a
 //     hybrid-parallel ranks × batch scaling study, an
@@ -85,6 +92,7 @@ import (
 	"repro/internal/perfmodel"
 	"repro/internal/placement"
 	"repro/internal/telemetry"
+	"repro/internal/tensor"
 	"repro/internal/workload"
 	"repro/internal/xrand"
 )
@@ -149,6 +157,16 @@ type (
 	// all-to-all / all-reduce / exposed-comm time plus collective byte
 	// meters, mirroring the paper's operator breakdown figures.
 	HybridStepBreakdown = hybrid.StepBreakdown
+	// EmbeddingDType selects the storage precision of embedding-table
+	// lookup rows (ModelConfig.TableDType, SparseFeature.DType): fp32,
+	// or bf16/fp16 replicas over fp32 master weights with split-SGD
+	// row re-quantization on every optimizer update.
+	EmbeddingDType = tensor.DType
+	// WireFormat selects the on-the-wire encoding of the hybrid
+	// trainer's collective payloads (HybridConfig.WireA2A,
+	// HybridConfig.WireAllReduce): fp32 passthrough, fp16/bf16 halves,
+	// or int8 per-64-element-chunk scales at 1.0625 bytes/element.
+	WireFormat = collective.WireFormat
 	// CollectiveLink models the wire between ranks (bandwidth + latency);
 	// the zero value is infinitely fast.
 	CollectiveLink = collective.Link
@@ -459,6 +477,39 @@ func HybridAllReduceBytes(cfg ModelConfig, ranks int) float64 {
 	return perfmodel.HybridAllReduceBytes(cfg, ranks)
 }
 
+// HybridAllToAllBytesWire is HybridAllToAllBytes with the wire width as
+// a parameter — pass WireFormat.BytesPerElem() to predict the compressed
+// volume the byte meters report under that format.
+func HybridAllToAllBytesWire(cfg ModelConfig, batch, ranks int, bytesPerElem float64) float64 {
+	return perfmodel.HybridAllToAllBytesWire(cfg, batch, ranks, bytesPerElem)
+}
+
+// HybridAllReduceBytesWire is HybridAllReduceBytes with the wire width
+// as a parameter.
+func HybridAllReduceBytesWire(cfg ModelConfig, ranks int, bytesPerElem float64) float64 {
+	return perfmodel.HybridAllReduceBytesWire(cfg, ranks, bytesPerElem)
+}
+
+// Embedding storage dtypes (ModelConfig.TableDType, SparseFeature.DType)
+// and collective wire formats (HybridConfig.WireA2A / WireAllReduce).
+const (
+	DTypeFP32 = tensor.FP32
+	DTypeBF16 = tensor.BF16
+	DTypeFP16 = tensor.FP16
+
+	WireFP32 = collective.WireFP32
+	WireFP16 = collective.WireFP16
+	WireBF16 = collective.WireBF16
+	WireINT8 = collective.WireINT8
+)
+
+// ParseDType parses "fp32"/"bf16"/"fp16" (plus common aliases like
+// "float32", "bfloat16", "half"; "" means fp32).
+func ParseDType(s string) (EmbeddingDType, error) { return tensor.ParseDType(s) }
+
+// ParseWireFormat parses "fp32"/"fp16"/"bf16"/"int8" ("" means fp32).
+func ParseWireFormat(s string) (WireFormat, error) { return collective.ParseWireFormat(s) }
+
 // NewShardWriter creates a dataset directory and returns a writer that
 // materializes batches into the sharded ingest record format.
 func NewShardWriter(dir string, cfg ModelConfig) (*IngestShardWriter, error) {
@@ -561,7 +612,7 @@ func RunExperiment(id string, opt ExperimentOptions) (ExperimentResult, error) {
 }
 
 // Version identifies the reproduction release.
-const Version = "1.7.0"
+const Version = "1.8.0"
 
 // Describe returns a one-line summary of a model config.
 func Describe(cfg ModelConfig) string {

@@ -271,7 +271,7 @@ func TestPublicAPITieredPlacement(t *testing.T) {
 
 func TestPublicAPIExperiments(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 22 {
+	if len(ids) != 23 {
 		t.Fatalf("Experiments() = %d ids", len(ids))
 	}
 	res, err := RunExperiment("table1", ExperimentOptions{Quick: true})
@@ -293,5 +293,54 @@ func TestPlatformsAndDescribe(t *testing.T) {
 	d := Describe(ProductionModels()[0])
 	if !strings.Contains(d, "M1prod") || !strings.Contains(d, "dense") {
 		t.Errorf("Describe = %q", d)
+	}
+}
+
+// TestPublicAPIMixedPrecision exercises the mixed-precision surface:
+// dtype/wire parsing, a bf16-table hybrid trainer with compressed wires,
+// and the dtype-aware analytic volume helpers.
+func TestPublicAPIMixedPrecision(t *testing.T) {
+	dt, err := ParseDType("bf16")
+	if err != nil || dt != DTypeBF16 {
+		t.Fatalf("ParseDType(bf16) = %v, %v", dt, err)
+	}
+	w, err := ParseWireFormat("int8")
+	if err != nil || w != WireINT8 {
+		t.Fatalf("ParseWireFormat(int8) = %v, %v", w, err)
+	}
+	if _, err := ParseWireFormat("fp8"); err == nil {
+		t.Error("ParseWireFormat accepted fp8")
+	}
+
+	cfg := TestSuiteModel(500, 8)
+	cfg.TableDType = DTypeBF16
+	fp32 := cfg
+	fp32.TableDType = DTypeFP32
+	if b, f := cfg.EmbeddingBytes(), fp32.EmbeddingBytes(); 2*b != f {
+		t.Errorf("bf16 embedding bytes %d, want half of %d", b, f)
+	}
+
+	ht, err := NewHybridTrainer(cfg, HybridConfig{
+		Ranks: 2, LR: 0.05, Seed: 1,
+		WireA2A: WireFP16, WireAllReduce: WireINT8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ht.Close()
+	gen := NewGenerator(cfg, 2)
+	const batch, steps = 64, 3
+	for i := 0; i < steps; i++ {
+		if _, _, err := ht.Step(gen.NextBatch(batch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := ht.CollectiveStats()
+	wantA2A := HybridAllToAllBytesWire(cfg, batch, 2, WireFP16.BytesPerElem()) * steps
+	if rel := float64(st.AllToAll.Bytes)/wantA2A - 1; rel > 0.02 || rel < -0.02 {
+		t.Errorf("fp16 all-to-all meter %d bytes, analytic %.0f", st.AllToAll.Bytes, wantA2A)
+	}
+	if full := HybridAllToAllBytesWire(cfg, batch, 2, 4) * steps; float64(st.AllToAll.Bytes) > full/1.9 {
+		t.Errorf("fp16 wire moved %d bytes, want ~half of fp32's %.0f", st.AllToAll.Bytes, full)
 	}
 }

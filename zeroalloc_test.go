@@ -4,6 +4,10 @@ import (
 	"testing"
 
 	"repro/internal/benchreport"
+	"repro/internal/collective"
+	"repro/internal/data"
+	"repro/internal/hybrid"
+	"repro/internal/tensor"
 )
 
 // TestTrainStepZeroAlloc is the hot-path allocation budget: after warmup,
@@ -25,6 +29,37 @@ func TestTrainStepZeroAlloc(t *testing.T) {
 	}
 	if avg := testing.AllocsPerRun(10, func() { tr.Step(batch) }); avg != 0 {
 		t.Fatalf("Trainer.Step allocates %.1f objects per step at steady state, want 0", avg)
+	}
+}
+
+// TestQuantizedStepZeroAlloc is the mixed-precision companion budget:
+// a full hybrid-parallel step with bf16 embedding tables (split-SGD
+// replica re-quantization on every touched row) and int8-compressed
+// collective wires must stay within the hybrid engine's ≤2 allocs/step
+// budget — the wire codecs run through reusable scratch, and the table
+// replicas are fixed slabs, so quantization adds no steady-state heap
+// traffic.
+func TestQuantizedStepZeroAlloc(t *testing.T) {
+	cfg := benchreport.BenchStepConfig()
+	cfg.TableDType = tensor.BF16
+	ht, err := hybrid.New(cfg, hybrid.Config{
+		Ranks: 2, LR: 0.05, Seed: 1,
+		WireA2A:       collective.WireINT8,
+		WireAllReduce: collective.WireINT8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ht.Close()
+	gen := data.NewGenerator(cfg, 2, data.DefaultOptions())
+	batch := gen.NextBatch(128)
+	for i := 0; i < 3; i++ {
+		if _, _, err := ht.Step(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := testing.AllocsPerRun(10, func() { ht.Step(batch) }); avg > 2 {
+		t.Fatalf("quantized hybrid step allocates %.1f objects per step at steady state, want <= 2", avg)
 	}
 }
 
