@@ -43,6 +43,7 @@ func run(args []string, out io.Writer) error {
 	bench := fs.String("bench", "", "only run benchmarks whose name contains this substring")
 	baseline := fs.String("baseline", "", "prior BENCH_*.json whose ns/op become the baseline")
 	compare := fs.String("compare", "", "diff two reports instead of benchmarking: old.json,new.json, or \"latest\" for the two newest BENCH_*.json; exits non-zero on regression past tolerance")
+	trend := fs.String("trend", "", "render the examples/sec trajectory across every BENCH_*.json report in this directory (\".\" for the repo root); informational, never fails the build")
 	note := fs.String("note", "", "free-form note recorded in the report")
 	httpAddr := fs.String("telemetry.http", "", "serve /metrics, /debug/vars and /debug/pprof on this address while benchmarks run")
 	if err := fs.Parse(args); err != nil {
@@ -51,6 +52,9 @@ func run(args []string, out io.Writer) error {
 
 	if *compare != "" {
 		return runCompare(*compare, out)
+	}
+	if *trend != "" {
+		return runTrend(*trend, out)
 	}
 
 	opts := benchreport.Options{MinTime: *mintime, Filter: *bench}
@@ -165,6 +169,94 @@ func runCompare(spec string, out io.Writer) error {
 	fmt.Fprint(out, d.Render())
 	if d.Regressed() {
 		return fmt.Errorf("benchrun: %d benchmark(s) regressed past tolerance", len(d.Regressions))
+	}
+	return nil
+}
+
+// runTrend renders the perf trajectory across every committed
+// BENCH_*.json report in dir: per-benchmark examples/sec over time as a
+// sparkline, plus the worst adjacent-report drop. Informational only —
+// the gate is -compare, which diffs a single pair under tolerance; the
+// trend view exists to spot slow drift that stays inside each
+// individual diff's noise floor.
+func runTrend(dir string, out io.Writer) error {
+	reports, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	if len(reports) < 2 {
+		return fmt.Errorf("benchrun: -trend needs at least 2 BENCH_*.json reports in %s, found %d", dir, len(reports))
+	}
+	sort.Strings(reports) // timestamped names sort chronologically
+	names := make([]string, len(reports))
+	series := make(map[string][]float64) // benchmark -> examples/sec per report (0 = absent)
+	var order []string
+	for i, path := range reports {
+		names[i] = filepath.Base(path)
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		rep, err := benchreport.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("benchrun: reading %s: %w", path, err)
+		}
+		for _, b := range rep.Benchmarks {
+			if b.ExamplesPerSec <= 0 {
+				continue
+			}
+			if _, ok := series[b.Name]; !ok {
+				order = append(order, b.Name)
+				series[b.Name] = make([]float64, len(reports))
+			}
+			series[b.Name][i] = b.ExamplesPerSec
+		}
+	}
+
+	fmt.Fprintf(out, "bench trend: %d reports, %s -> %s (examples/sec)\n\n",
+		len(reports), names[0], names[len(names)-1])
+	rows := [][]string{{"benchmark", "first", "latest", "trend", "worst drop"}}
+	worstName, worstPct := "", 0.0
+	var worstFrom, worstTo string
+	for _, name := range order {
+		vals := series[name]
+		var present []float64
+		for _, v := range vals {
+			if v > 0 {
+				present = append(present, v)
+			}
+		}
+		// Worst drop between chronologically adjacent reports that both
+		// carry the benchmark (specs added mid-history skip the gap).
+		drop, from, to, prev := 0.0, "", "", -1
+		for i, v := range vals {
+			if v <= 0 {
+				continue
+			}
+			if prev >= 0 {
+				if pct := 100 * (v - vals[prev]) / vals[prev]; pct < drop {
+					drop, from, to = pct, names[prev], names[i]
+				}
+			}
+			prev = i
+		}
+		dropCell := "-"
+		if drop < 0 {
+			dropCell = fmt.Sprintf("%.1f%%", drop)
+		}
+		rows = append(rows, []string{name, metrics.F(present[0]),
+			metrics.F(present[len(present)-1]), metrics.Sparkline(present), dropCell})
+		if drop < worstPct {
+			worstName, worstPct, worstFrom, worstTo = name, drop, from, to
+		}
+	}
+	fmt.Fprint(out, metrics.Table(rows))
+	if worstName != "" {
+		fmt.Fprintf(out, "\nworst step-to-step drop: %s %.1f%% (%s -> %s)\n",
+			worstName, worstPct, worstFrom, worstTo)
+	} else {
+		fmt.Fprintln(out, "\nno adjacent-report drop anywhere: every trajectory is monotonic")
 	}
 	return nil
 }

@@ -62,6 +62,53 @@ func TestRunBenchFilterAndBaseline(t *testing.T) {
 	}
 }
 
+// TestTrend exercises the "-trend" trajectory view: three fixed reports
+// where one benchmark dips in the middle report must surface that
+// adjacent-pair drop as the worst one, and a benchmark absent from the
+// oldest report must still render (specs added mid-history skip the
+// gap rather than faking a drop from zero).
+func TestTrend(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-trend", dir}, &out); err == nil {
+		t.Error("-trend accepted a directory without reports")
+	}
+	steady := []float64{50000, 40000, 60000} // -20% dip in the middle
+	for i, name := range []string{
+		"BENCH_20260101T000000Z.json", "BENCH_20260102T000000Z.json", "BENCH_20260103T000000Z.json",
+	} {
+		rep := benchreport.Report{
+			SchemaVersion: 1,
+			Benchmarks: []benchreport.Result{
+				{Name: "train_step", ExamplesPerSec: steady[i]},
+			},
+		}
+		if i > 0 { // added one report into history
+			rep.Benchmarks = append(rep.Benchmarks,
+				benchreport.Result{Name: "hybrid_step", ExamplesPerSec: 30000})
+		}
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	out.Reset()
+	if err := run([]string{"-trend", dir}, &out); err != nil {
+		t.Fatalf("trend: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "worst step-to-step drop: train_step -20.0% (BENCH_20260101T000000Z.json -> BENCH_20260102T000000Z.json)") {
+		t.Errorf("worst drop not attributed to the middle dip:\n%s", s)
+	}
+	if !strings.Contains(s, "hybrid_step") || !strings.Contains(s, "3 reports") {
+		t.Errorf("trend table incomplete:\n%s", s)
+	}
+}
+
 // TestCompareLatest exercises the "-compare latest" auto-selection: two
 // quick reports in one directory, the gate picks the two newest by
 // timestamped filename and renders a diff.

@@ -91,6 +91,8 @@ func run(args []string, out io.Writer) error {
 	httpAddr := fs.String("telemetry.http", "", "serve /metrics, /debug/vars and /debug/pprof on this address for the run's duration")
 	report := fs.Bool("telemetry.report", false, "print the per-phase attribution report and ASCII timeline after training")
 	doctor := fs.Bool("telemetry.doctor", false, "diagnose the run after training: boundedness verdict, straggler analysis, ranked findings")
+	watch := fs.Bool("telemetry.watch", false, "arm the flight recorder and render the ASCII sparkline dashboard of the per-step time-series at each progress interval")
+	blackbox := fs.String("telemetry.blackbox", "", "arm the flight recorder to dump blackbox-<step>/ bundles into this directory when an online anomaly detector fires")
 	ckptDir := fs.String("ckpt.dir", "", "durable checkpoint directory (enables periodic checkpointing)")
 	ckptEvery := fs.Int("ckpt.every", 100, "iterations between checkpoints when -ckpt.dir is set")
 	resume := fs.Bool("resume", false, "resume from the latest checkpoint in -ckpt.dir before training")
@@ -128,7 +130,7 @@ func run(args []string, out io.Writer) error {
 			tableDT, core.HumanBytes(cfg.EmbeddingBytes()))
 	}
 
-	tel, err := newTelemetry(out, *traceFile, *httpAddr, *report, *doctor, *mode, *ranks, *dataFlag, *readers)
+	tel, err := newTelemetry(out, *traceFile, *httpAddr, *report, *doctor, *watch, *blackbox, *mode, *ranks, *dataFlag, *readers)
 	if err != nil {
 		return err
 	}
@@ -220,15 +222,17 @@ func openCkpt(dir string, every int, resume bool, faults, mode, dataFlag string,
 type telem struct {
 	tracer    *telemetry.Tracer
 	reg       *telemetry.Registry
+	rec       *telemetry.FlightRecorder
 	feedShard int
 	ckptShard int
 	traceFile string
 	report    bool
 	doctor    bool
+	watch     bool
 }
 
-func newTelemetry(out io.Writer, traceFile, httpAddr string, report, doctor bool, mode string, ranks int, dataFlag string, readers int) (*telem, error) {
-	if traceFile == "" && httpAddr == "" && !report && !doctor {
+func newTelemetry(out io.Writer, traceFile, httpAddr string, report, doctor, watch bool, blackbox, mode string, ranks int, dataFlag string, readers int) (*telem, error) {
+	if traceFile == "" && httpAddr == "" && !report && !doctor && !watch && blackbox == "" {
 		return nil, nil
 	}
 	trainShards := 1
@@ -247,20 +251,48 @@ func newTelemetry(out io.Writer, traceFile, httpAddr string, report, doctor bool
 		traceFile: traceFile,
 		report:    report,
 		doctor:    doctor,
+		watch:     watch,
 	}
 	if mode != "hybrid" {
 		t.tracer.NameShard(0, "trainer")
 	}
 	t.tracer.NameShard(t.ckptShard, "ckpt")
 	telemetry.RegisterPhaseHists(t.reg, t.tracer)
+	// The flight recorder rides every telemetry-enabled run: its
+	// per-step sampling is part of the <3% observability budget, and
+	// /timeseries plus the dashboard want the series even when no
+	// bundle directory is armed.
+	recRanks := 1
+	if mode == "hybrid" {
+		recRanks = ranks
+	}
+	rec, err := telemetry.OpenFlightRecorder(telemetry.FlightRecorderConfig{
+		Dir: blackbox, Tracer: t.tracer, Registry: t.reg, Ranks: recRanks,
+		Logf: func(format string, args ...any) { fmt.Fprintf(out, format+"\n", args...) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.rec = rec
+	if blackbox != "" {
+		fmt.Fprintf(out, "telemetry: flight recorder armed, black-box bundles land in %s\n", blackbox)
+	}
 	if httpAddr != "" {
-		srv, err := telemetry.Serve(httpAddr, t.reg)
+		srv, err := telemetry.Serve(httpAddr, t.reg, telemetry.WithTimeseries(rec.Timeseries()))
 		if err != nil {
 			return nil, err
 		}
-		fmt.Fprintf(out, "telemetry: serving /metrics, /debug/vars, /debug/pprof on %s\n", srv.Addr)
+		fmt.Fprintf(out, "telemetry: serving /metrics, /timeseries, /healthz, /debug/vars, /debug/pprof on %s\n", srv.Addr)
 	}
 	return t, nil
+}
+
+// dashboard renders the live sparkline panel at a progress interval.
+func (t *telem) dashboard(out io.Writer) {
+	if t == nil || !t.watch {
+		return
+	}
+	fmt.Fprint(out, t.rec.Timeseries().Dashboard(72))
 }
 
 // finish exports the collected trace: the attribution report and ASCII
@@ -270,6 +302,18 @@ func (t *telem) finish(out io.Writer, predicted map[telemetry.Phase]float64) err
 		return nil
 	}
 	snap := t.tracer.Snapshot()
+	if t.watch {
+		fmt.Fprintf(out, "\ntimeseries dashboard:\n%s", t.rec.Timeseries().Dashboard(72))
+	}
+	if findings := t.rec.Findings(); len(findings) > 0 {
+		fmt.Fprintf(out, "\nflight recorder: %d finding(s)\n", len(findings))
+		for _, f := range findings {
+			fmt.Fprintf(out, "  %s\n", f)
+		}
+		for _, b := range t.rec.Bundles() {
+			fmt.Fprintf(out, "  bundle: %s\n", b)
+		}
+	}
 	if t.report {
 		attr := telemetry.Attribute(snap)
 		fmt.Fprintf(out, "\nattribution (observed vs analytic perfmodel):\n%s", attr.Render(predicted))
@@ -383,6 +427,7 @@ func runSingle(out io.Writer, cfg core.Config, fd *feed, batch, iters int, lr fl
 	tr := core.NewTrainer(m, core.TrainerConfig{Optimizer: core.OptAdagrad, LR: lr})
 	if tel != nil {
 		tr.SetTrace(tel.tracer, 0)
+		tr.SetRecorder(tel.rec)
 	}
 	if co != nil && co.resume {
 		info, err := tr.RestoreCheckpoint(co.store)
@@ -419,6 +464,7 @@ func runSingle(out io.Writer, cfg core.Config, fd *feed, batch, iters int, lr fl
 		} else {
 			fmt.Fprintf(out, "iter %5d  loss %.4f\n", trained, loss)
 		}
+		tel.dashboard(out)
 	}
 	reportThroughput(out, trained, batch, time.Since(start))
 	reportIngest(out, fd)
@@ -438,6 +484,7 @@ func runHybrid(out io.Writer, cfg core.Config, fd *feed, batch, iters int, lr fl
 	}
 	if tel != nil {
 		hc.Registry, hc.Trace, hc.TraceShard = tel.reg, tel.tracer, 0
+		hc.Recorder = tel.rec
 	}
 	ht, err := hybrid.New(cfg, hc)
 	if err != nil {
@@ -487,6 +534,7 @@ func runHybrid(out io.Writer, cfg core.Config, fd *feed, batch, iters int, lr fl
 		} else {
 			fmt.Fprintf(out, "iter %5d  loss %.4f\n", trained, loss)
 		}
+		tel.dashboard(out)
 	}
 	reportThroughput(out, trained, batch, time.Since(start))
 	reportIngest(out, fd)
@@ -523,12 +571,15 @@ func runHybridElastic(out io.Writer, cfg core.Config, batch, iters int, lr float
 		ranks, link.Name, co.faults.Len(), co.every)
 	hc := hybrid.Config{Ranks: ranks, LR: lr, Seed: seed, Overlap: ranks > 1, Link: link,
 		WireA2A: wire, WireAllReduce: wire}
+	var rec *telemetry.FlightRecorder
 	if tel != nil {
 		hc.Registry, hc.Trace, hc.TraceShard = tel.reg, tel.tracer, 0
+		rec = tel.rec
 	}
 	res, err := hybrid.RunElastic(hybrid.ElasticConfig{
 		Cfg:       cfg,
 		HC:        hc,
+		Recorder:  rec,
 		Store:     co.store,
 		CkptEvery: co.every,
 		FullEvery: fullCompactEvery,

@@ -92,15 +92,25 @@ func DefaultSpecs(filter string) []Spec {
 		})
 	}
 
-	// The same training step with full span tracing on: every phase of
-	// every step lands in a slab-backed ring. The telemetry_overhead
-	// speedup (traced ns / untraced ns) is the tracer's cost — the
-	// acceptance bound is < 3%.
+	// The same training step with full span tracing AND flight recording
+	// on: every phase of every step lands in a slab-backed ring, and the
+	// recorder samples the step (meter/histogram deltas, detector
+	// update) into its time-series ring. The telemetry_overhead speedup
+	// (traced+recorded ns / untraced ns) is the whole observability
+	// stack's cost — the acceptance bound is < 3%.
 	if want("train_step_traced") {
 		cfg := BenchStepConfig()
 		m := core.NewModel(cfg, xrand.New(1))
 		tr := core.NewTrainer(m, core.TrainerConfig{LR: 0.05})
-		tr.SetTrace(telemetry.NewTracer(1, 4096), 0)
+		trace := telemetry.NewTracer(1, 4096)
+		tr.SetTrace(trace, 0)
+		fr, err := telemetry.OpenFlightRecorder(telemetry.FlightRecorderConfig{
+			Tracer: trace, Registry: telemetry.NewRegistry(),
+		})
+		if err != nil {
+			panic(err)
+		}
+		tr.SetRecorder(fr)
 		gen := data.NewGenerator(cfg, 2, data.DefaultOptions())
 		batch := gen.NextBatch(benchBatch)
 		specs = append(specs, Spec{
@@ -143,9 +153,9 @@ func DefaultSpecs(filter string) []Spec {
 		})
 	}
 
-	// Hybrid step with tracing on across both rank shards plus the
-	// overlapped all-reduce shards — the multi-writer overhead companion
-	// to train_step_traced.
+	// Hybrid step with tracing and flight recording on across both rank
+	// shards plus the overlapped all-reduce shards — the multi-writer
+	// overhead companion to train_step_traced.
 	if want("hybrid_step_traced") {
 		cfg := BenchStepConfig()
 		gen := data.NewGenerator(cfg, 2, data.DefaultOptions())
@@ -158,7 +168,14 @@ func DefaultSpecs(filter string) []Spec {
 				if ht == nil {
 					hc := hybrid.Config{Ranks: 2, LR: 0.05, Seed: 1}
 					hc.Trace = telemetry.NewTracer(hc.ShardCount(), 4096)
-					var err error
+					hc.Registry = telemetry.NewRegistry()
+					fr, err := telemetry.OpenFlightRecorder(telemetry.FlightRecorderConfig{
+						Tracer: hc.Trace, Registry: hc.Registry, Ranks: hc.Ranks,
+					})
+					if err != nil {
+						panic(err)
+					}
+					hc.Recorder = fr
 					if ht, err = hybrid.New(cfg, hc); err != nil {
 						panic(err)
 					}

@@ -46,6 +46,7 @@ type Trainer struct {
 
 	trace      *telemetry.Tracer
 	traceShard int
+	rec        *telemetry.FlightRecorder
 }
 
 // NewTrainer builds a trainer for the model.
@@ -93,11 +94,20 @@ func (t *Trainer) SetTrace(tr *telemetry.Tracer, shard int) {
 	t.Model.Trace, t.Model.TraceShard = tr, shard
 }
 
+// SetRecorder attaches a flight recorder: Step then feeds it one
+// StepSample per step (loss, batch size, wall time) from the trainer
+// goroutine. Nil detaches. Steady-state sampling stays allocation-free.
+func (t *Trainer) SetRecorder(fr *telemetry.FlightRecorder) { t.rec = fr }
+
 // Step runs one forward/backward/update over the batch and returns the
 // batch's training loss. At steady state (fixed batch size) it performs
 // zero heap allocations; every scratch buffer is owned by the trainer or
 // the model and reused across steps.
 func (t *Trainer) Step(b *MiniBatch) float64 {
+	var t0 int64
+	if t.rec != nil {
+		t0 = telemetry.Now()
+	}
 	stepTok := t.trace.Begin(telemetry.PhaseStep)
 	logits := t.Model.Forward(b) // records emb_lookup + dense_fwd spans
 	if cap(t.gradBuf) < len(logits) {
@@ -140,6 +150,17 @@ func (t *Trainer) Step(b *MiniBatch) float64 {
 	t.trace.End(t.traceShard, tok)
 	t.iter++
 	t.trace.End(t.traceShard, stepTok)
+	if t.rec != nil {
+		now := telemetry.Now()
+		t.rec.ObserveStep(telemetry.StepSample{
+			Step:        int64(t.iter - 1),
+			ClockNS:     now,
+			Loss:        loss,
+			Examples:    int64(b.Batch()),
+			StepNS:      now - t0,
+			SlowestRank: -1,
+		})
+	}
 	return loss
 }
 

@@ -53,6 +53,7 @@ var registry = map[string]struct {
 	"fig14":                 {"Fig 14: embedding placements on Big Basin vs Zion (M2prod)", fig14},
 	"fig15":                 {"Fig 15: accuracy loss vs batch size after manual tuning", fig15},
 	"elastic_recovery":      {"Elastic recovery: kill/restore/rejoin wall time, bytes restored, loss bit-identity (1/2/4 ranks)", elasticRecovery},
+	"flight_recorder":       {"Flight recorder: online anomaly detection localizing injected spike/delay/kill incidents to ±1 step, with black-box bundles (1/2/4 ranks)", flightRecorder},
 	"hybrid_scaling":        {"Hybrid-parallel scaling: ranks x batch comm/compute breakdown (real collectives)", hybridScaling},
 	"ingest_scaling":        {"Ingestion scaling: readers per trainer, reader-bound vs trainer-bound crossover + RecD dedup", ingestScaling},
 	"mixed_precision":       {"Mixed precision: table dtype x wire format sweep, quality drift and wire-byte compression (1/2/4 ranks)", mixedPrecision},

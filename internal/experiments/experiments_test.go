@@ -7,8 +7,8 @@ import (
 
 func TestIDsStable(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 23 {
-		t.Fatalf("%d experiments registered, want 23", len(ids))
+	if len(ids) != 24 {
+		t.Fatalf("%d experiments registered, want 24", len(ids))
 	}
 	for _, id := range ids {
 		if Title(id) == "" {
@@ -100,6 +100,26 @@ func TestElasticRecoveryAcceptance(t *testing.T) {
 		if strings.Contains(res.Output, bad) {
 			t.Errorf("elastic_recovery output contains %q:\n%s", bad, res.Output)
 		}
+	}
+}
+
+// TestFlightRecorderAcceptance pins the flight_recorder acceptance
+// shape: every injected incident (loss spike, NaN, rank-0 delay,
+// kill/restore) is detected within ±1 step with a complete black-box
+// bundle, and the fault run carries rebuild/restore marks.
+func TestFlightRecorderAcceptance(t *testing.T) {
+	res, err := Run("flight_recorder", Options{Quick: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"loss_spike", "loss_nan", "rank_fault",
+		"acceptance: every injected incident detected within ±1 step"} {
+		if !strings.Contains(res.Output, want) {
+			t.Errorf("flight_recorder output missing %q:\n%s", want, res.Output)
+		}
+	}
+	if strings.Contains(res.Output, "WARNING") {
+		t.Errorf("flight_recorder acceptance failed:\n%s", res.Output)
 	}
 }
 

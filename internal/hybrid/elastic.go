@@ -41,6 +41,12 @@ type ElasticConfig struct {
 	Faults *collective.FaultSchedule
 	// Logf, when non-nil, receives progress lines (kills, restores).
 	Logf func(format string, args ...any)
+	// Recorder, when non-nil, is attached to every (re)built trainer
+	// (overriding HC.Recorder) so the per-step time-series spans
+	// recoveries, and receives the fault as an AnomalyRankFault finding
+	// plus "rebuild"/"restore" marks — the annotated events a black-box
+	// bundle localizes a kill with.
+	Recorder *telemetry.FlightRecorder
 }
 
 // ElasticResult reports an elastic run: the full loss curve (one entry
@@ -89,6 +95,9 @@ func RunElastic(ec ElasticConfig) (*ElasticResult, error) {
 	res := &ElasticResult{Losses: make([]float64, ec.Steps)}
 
 	// Build, preferring a resume over a cold start.
+	if ec.Recorder != nil {
+		ec.HC.Recorder = ec.Recorder
+	}
 	build := func() (*Trainer, error) {
 		t, err := New(ec.Cfg, ec.HC)
 		if err != nil {
@@ -100,6 +109,8 @@ func RunElastic(ec ElasticConfig) (*ElasticResult, error) {
 		case err == nil:
 			res.BytesRestored += info.Bytes
 			ec.logf("hybrid: restored %s at step %d (%d bytes)", info.Name, info.Step, info.Bytes)
+			ec.HC.Recorder.Mark(int64(info.Step), "restore",
+				fmt.Sprintf("rolled back to checkpoint %s (%d bytes)", info.Name, info.Bytes))
 		case errors.Is(err, ckpt.ErrNoCheckpoint):
 			// Cold start from the seed.
 		default:
@@ -140,6 +151,11 @@ func RunElastic(ec ElasticConfig) (*ElasticResult, error) {
 			return res, fmt.Errorf("hybrid: giving up after %d recoveries: %w", res.Recoveries-1, stepErr)
 		}
 		ec.logf("hybrid: step %d failed (%v); recovering", t.Iter(), stepErr)
+		faultStep := int64(t.Iter())
+		if re, ok := collective.AsRankError(stepErr); ok {
+			faultStep = int64(re.Step)
+		}
+		ec.HC.Recorder.RecordFault(faultStep, stepErr)
 		rec0 := telemetry.Now()
 		t.Close()
 		t, err = build()
@@ -147,6 +163,8 @@ func RunElastic(ec ElasticConfig) (*ElasticResult, error) {
 			return res, fmt.Errorf("hybrid: rebuilding after %v: %w", stepErr, err)
 		}
 		res.RecoveryWall += time.Duration(telemetry.Now() - rec0)
+		ec.HC.Recorder.Mark(int64(t.Iter()), "rebuild",
+			fmt.Sprintf("world rebuilt with %d ranks after %v", t.Ranks(), stepErr))
 		ec.logf("hybrid: rejoined %d ranks at step %d", t.Ranks(), t.Iter())
 	}
 }

@@ -86,6 +86,12 @@ type Config struct {
 	// behavior; see collective.WireFormat for the formats.
 	WireA2A       collective.WireFormat
 	WireAllReduce collective.WireFormat
+	// Recorder, when non-nil, receives one flight-recorder StepSample
+	// per successful Step: loss, throughput, the comm breakdown, the
+	// summed rendezvous wait, and the per-step straggler index (the
+	// imbalance.go definition evaluated on one step). Sampling adds no
+	// heap allocations to the step.
+	Recorder *telemetry.FlightRecorder
 }
 
 // ShardCount returns how many tracer shards a trainer with this config
@@ -171,6 +177,12 @@ type Trainer struct {
 	reg                       *telemetry.Registry
 	stepsC, stepNs, computeNs *telemetry.Counter
 	a2aNs, arNs, exposedNs    *telemetry.Counter
+
+	// flight-recorder feed (Config.Recorder): per-rank rendezvous wait
+	// counters resolved once so each Step costs only atomic loads.
+	rec      *telemetry.FlightRecorder
+	waitC    []*telemetry.Counter
+	prevWait []int64
 }
 
 // New builds the trainer: a reference model seeded exactly like the
@@ -202,6 +214,13 @@ func New(cfg core.Config, hc Config) (*Trainer, error) {
 		sched:  optim.WarmupSchedule{Base: hc.LR, WarmupIters: hc.WarmupIters},
 		bounds: make([]int, hc.Ranks+1),
 		reg:    reg,
+	}
+	if t.rec = hc.Recorder; t.rec != nil {
+		t.waitC = make([]*telemetry.Counter, hc.Ranks)
+		t.prevWait = make([]int64, hc.Ranks)
+		for id := 0; id < hc.Ranks; id++ {
+			t.waitC[id] = reg.Counter(fmt.Sprintf("collective/rank%d/wait_ns", id))
+		}
 	}
 	t.stepsC = reg.Counter("hybrid/steps")
 	t.stepNs = reg.Counter("hybrid/step_ns")
@@ -394,7 +413,58 @@ func (t *Trainer) Step(b *core.MiniBatch) (float64, StepBreakdown, error) {
 	t.a2aNs.Add(int64(bd.AllToAll * 1e9))
 	t.arNs.Add(int64(bd.AllReduce * 1e9))
 	t.exposedNs.Add(int64(bd.Exposed * 1e9))
+	if t.rec != nil {
+		t.observeStep(loss, B, bd)
+	}
 	return loss, bd, nil
+}
+
+// observeStep feeds the flight recorder one sample for the step that
+// just completed. The per-step straggler index mirrors Imbalance: each
+// rank's self time is its step wall minus its rendezvous waits (meter
+// delta, plus the exposed all-reduce join when overlap keeps the
+// background collective off the meters), and the index is max self over
+// mean self. Runs on the driving goroutine with all rank goroutines
+// parked, so reading rank state is safe; no heap allocations.
+func (t *Trainer) observeStep(loss float64, batch int, bd StepBreakdown) {
+	n := t.HC.Ranks
+	overlapped := t.HC.Overlap && n > 1
+	var maxSelf, sumSelf float64
+	var waitSum int64
+	slowest := int32(-1)
+	for k, r := range t.ranks {
+		w := t.waitC[k].Load()
+		wait := w - t.prevWait[k]
+		t.prevWait[k] = w
+		if overlapped {
+			wait += int64(r.arWait)
+		}
+		waitSum += wait
+		self := float64(int64(r.tStep) - wait)
+		if self < 0 {
+			self = 0
+		}
+		sumSelf += self
+		if self > maxSelf {
+			maxSelf, slowest = self, int32(k)
+		}
+	}
+	idx := 0.0
+	if sumSelf > 0 {
+		idx = maxSelf / (sumSelf / float64(n))
+	}
+	t.rec.ObserveStep(telemetry.StepSample{
+		Step:           int64(t.iter - 1),
+		Loss:           loss,
+		Examples:       int64(batch),
+		StepNS:         int64(bd.Step * 1e9),
+		A2ANS:          int64(bd.AllToAll * 1e9),
+		ARNS:           int64(bd.AllReduce * 1e9),
+		ExposedNS:      int64(bd.Exposed * 1e9),
+		WaitNS:         waitSum,
+		StragglerIndex: idx,
+		SlowestRank:    slowest,
+	})
 }
 
 // Err returns the error that poisoned the trainer, or nil while healthy.

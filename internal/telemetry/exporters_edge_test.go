@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// chromeDoc mirrors the trace_event object form for assertions.
+type chromeDoc struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		TS   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		TID  int     `json:"tid"`
+	} `json:"traceEvents"`
+}
+
+// TestChromeTraceEmptyTracer: a tracer that never recorded must still
+// serialize to a valid, loadable document (metadata only, no X events).
+func TestChromeTraceEmptyTracer(t *testing.T) {
+	tr := NewTracer(2, 16)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace JSON: %v (%s)", err, buf.Bytes())
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "M" {
+			t.Fatalf("empty tracer emitted a %q event: %+v", ev.Ph, ev)
+		}
+	}
+	// The nil tracer degenerates the same way.
+	buf.Reset()
+	var nilTr *Tracer
+	if err := WriteChromeTrace(&buf, nilTr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("nil tracer events: %+v", doc.TraceEvents)
+	}
+}
+
+// TestTimelineEmptyTracer pins the "(no spans)" degenerate render.
+func TestTimelineEmptyTracer(t *testing.T) {
+	tr := NewTracer(1, 8)
+	if out := tr.Snapshot().Timeline(40); !strings.Contains(out, "no spans") {
+		t.Fatalf("empty timeline: %q", out)
+	}
+}
+
+// TestExportersOpenSpan: a Begin without End must not corrupt either
+// exporter — the open span simply isn't in the snapshot (spans are
+// recorded at End), while completed spans around it are.
+func TestExportersOpenSpan(t *testing.T) {
+	tr := NewTracer(1, 16)
+	done := tr.Begin(PhaseEmbLookup)
+	tr.End(0, done)
+	_ = tr.Begin(PhaseDenseFwd) // never ended
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 1 || snap.Spans[0].Phase != PhaseEmbLookup {
+		t.Fatalf("snapshot with open span: %+v", snap.Spans)
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var xEvents int
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			xEvents++
+			if ev.Dur < 0 {
+				t.Fatalf("negative duration: %+v", ev)
+			}
+		}
+	}
+	if xEvents != 1 {
+		t.Fatalf("open span leaked into the trace: %d X events", xEvents)
+	}
+	if out := snap.Timeline(40); !strings.Contains(out, "emb_lookup") {
+		t.Fatalf("timeline lost the completed span:\n%s", out)
+	}
+}
+
+// TestSnapshotMidWrite: snapshots taken from another goroutine between
+// (not during) record calls on a single-writer shard must always be
+// internally consistent — spans ordered, durations non-negative, and
+// serializable — even while the writer keeps appending afterwards.
+func TestSnapshotMidWrite(t *testing.T) {
+	tr := NewTracer(1, 32)
+	const steps = 200
+	snapAt := make(chan struct{})
+	var got TraceSnapshot
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-snapAt
+		got = tr.Snapshot()
+	}()
+	for i := 0; i < steps; i++ {
+		tok := tr.Begin(PhaseOptimizer)
+		tr.End(0, tok)
+		if i == steps/2 {
+			// Hand the half-written tracer to the snapshotter and wait:
+			// recording is quiescent while it copies, which is the
+			// documented contract ("between steps").
+			snapAt <- struct{}{}
+			wg.Wait()
+		}
+	}
+	if len(got.Spans) == 0 {
+		t.Fatal("mid-write snapshot empty")
+	}
+	for i, sp := range got.Spans {
+		if sp.End < sp.Start {
+			t.Fatalf("span %d negative duration: %+v", i, sp)
+		}
+		if i > 0 && sp.Start < got.Spans[i-1].Start {
+			t.Fatalf("spans unordered at %d", i)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, got); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	// The writer continued past the snapshot: the final state holds all
+	// spans, the snapshot only the prefix.
+	final := tr.Snapshot()
+	if int(final.Dropped)+len(final.Spans) != steps {
+		t.Fatalf("final accounting: %d dropped + %d held != %d", final.Dropped, len(final.Spans), steps)
+	}
+	if len(got.Spans) >= steps {
+		t.Fatalf("snapshot saw the future: %d spans", len(got.Spans))
+	}
+}

@@ -342,13 +342,34 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
+// serveOpts collects the optional Serve wiring.
+type serveOpts struct {
+	ts *Timeseries
+}
+
+// ServeOption configures optional endpoints on Serve.
+type ServeOption func(*serveOpts)
+
+// WithTimeseries backs the /timeseries endpoint with the given ring
+// (typically FlightRecorder.Timeseries()). Without this option the
+// endpoint still exists and serves an empty, well-formed document.
+func WithTimeseries(ts *Timeseries) ServeOption {
+	return func(o *serveOpts) { o.ts = ts }
+}
+
 // Serve starts an HTTP endpoint with the process profile and the
 // registry: /debug/vars (expvar, including this registry under
-// "telemetry"), /debug/pprof/* (the standard profiles), and /metrics
-// (the registry snapshot as JSON). It returns the running server; the
-// caller shuts it down. The listener is bound synchronously, so a
-// returned nil error means the endpoint is live.
-func Serve(addr string, r *Registry) (*http.Server, error) {
+// "telemetry"), /debug/pprof/* (the standard profiles), /metrics
+// (the registry snapshot as JSON), /timeseries (the per-step flight-
+// recorder ring as JSON; see WithTimeseries) and /healthz (liveness).
+// It returns the running server; the caller shuts it down. The
+// listener is bound synchronously, so a returned nil error means the
+// endpoint is live.
+func Serve(addr string, r *Registry, opts ...ServeOption) (*http.Server, error) {
+	var o serveOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
 	r.PublishExpvar("telemetry")
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -358,6 +379,11 @@ func Serve(addr string, r *Registry) (*http.Server, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/timeseries", o.ts.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
 	srv := &http.Server{Addr: addr, Handler: mux}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -59,3 +59,89 @@ func TestServeEndpoints(t *testing.T) {
 	defer cancel()
 	_ = srv2.Shutdown(ctx)
 }
+
+// get drives the server's mux in-process and returns the recorder.
+func get(t *testing.T, srv *http.Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	srv.Handler.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("%s: status %d: %s", path, rec.Code, rec.Body)
+	}
+	return rec
+}
+
+// TestServeHealthAndContentTypes pins /healthz and the explicit
+// Content-Type headers on every JSON endpoint.
+func TestServeHealthAndContentTypes(t *testing.T) {
+	r := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	if rec := get(t, srv, "/healthz"); rec.Body.String() != "ok\n" {
+		t.Fatalf("/healthz body %q", rec.Body.String())
+	} else if ct := rec.Header().Get("Content-Type"); ct != "text/plain; charset=utf-8" {
+		t.Fatalf("/healthz Content-Type %q", ct)
+	}
+	for _, path := range []string{"/metrics", "/timeseries"} {
+		rec := get(t, srv, path)
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("%s Content-Type %q", path, ct)
+		}
+	}
+	// Without WithTimeseries the endpoint serves an empty, well-formed
+	// document.
+	var doc struct {
+		Samples []StepSample `json:"samples"`
+		Marks   []SeriesMark `json:"marks"`
+	}
+	rec := get(t, srv, "/timeseries")
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("/timeseries: %v (%s)", err, rec.Body)
+	}
+	if doc.Samples == nil || doc.Marks == nil {
+		t.Fatalf("/timeseries must serve empty arrays, got %s", rec.Body)
+	}
+	if len(doc.Samples) != 0 {
+		t.Fatalf("unbacked /timeseries has %d samples", len(doc.Samples))
+	}
+}
+
+// TestServeTimeseries wires a live ring through WithTimeseries and
+// checks the served snapshot round-trips samples and marks.
+func TestServeTimeseries(t *testing.T) {
+	ts := NewTimeseries(16)
+	ts.Append(StepSample{Step: 7, Loss: 0.5, Examples: 128, StepNS: 1e6})
+	ts.Mark(7, "restore", "rolled back")
+	srv, err := Serve("127.0.0.1:0", NewRegistry(), WithTimeseries(ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	rec := get(t, srv, "/timeseries")
+	var doc struct {
+		Total   uint64       `json:"total"`
+		Samples []StepSample `json:"samples"`
+		Marks   []SeriesMark `json:"marks"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("/timeseries: %v (%s)", err, rec.Body)
+	}
+	if doc.Total != 1 || len(doc.Samples) != 1 || doc.Samples[0].Step != 7 {
+		t.Fatalf("served samples wrong: %s", rec.Body)
+	}
+	if len(doc.Marks) != 1 || doc.Marks[0].Kind != "restore" {
+		t.Fatalf("served marks wrong: %s", rec.Body)
+	}
+}

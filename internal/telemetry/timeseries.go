@@ -1,0 +1,425 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// StepSample is one step of the training time-series: everything the
+// flight recorder needs to detect anomalies and reconstruct what the
+// run looked like around a trigger. Samples are plain values — they are
+// built on the caller's stack and copied into the ring, so steady-state
+// recording never allocates.
+//
+// Trainers fill the fields they own (Step, Loss, Examples, StepNS and —
+// for the hybrid engine — the comm breakdown, summed rendezvous wait
+// and per-step straggler index); FlightRecorder.ObserveStep derives the
+// rest (clock, ingest starvation, checkpoint bytes, per-phase ns) from
+// the registry meters and tracer histograms it was opened with.
+type StepSample struct {
+	// Step is the 0-based training step this sample describes.
+	Step int64 `json:"step"`
+	// ClockNS is the process-epoch timestamp (telemetry.Now) at which
+	// the sample was recorded, i.e. the end of the step.
+	ClockNS int64 `json:"clock_ns"`
+	// Loss is the mini-batch training loss.
+	Loss float64 `json:"loss"`
+	// Examples is the number of examples the step consumed.
+	Examples int64 `json:"examples"`
+	// StepNS is the wall time of the step.
+	StepNS int64 `json:"step_ns"`
+	// A2ANS / ARNS / ExposedNS are the hybrid engine's critical-path
+	// all-to-all, all-reduce and exposed (non-overlapped) comm times.
+	// Zero for the single-process trainer.
+	A2ANS     int64 `json:"a2a_ns,omitempty"`
+	ARNS      int64 `json:"ar_ns,omitempty"`
+	ExposedNS int64 `json:"exposed_ns,omitempty"`
+	// WaitNS is the rendezvous wait summed across ranks this step
+	// (delta of the collective/rank<k>/wait_ns meters, plus each rank's
+	// exposed all-reduce join when comm/compute overlap is on).
+	WaitNS int64 `json:"wait_ns,omitempty"`
+	// StarvedNS is the time the trainer spent blocked on the input
+	// pipeline this step (delta of ingest/starved_ns).
+	StarvedNS int64 `json:"starved_ns,omitempty"`
+	// CkptBytes is the checkpoint volume written during this step
+	// (delta of ckpt/bytes_written).
+	CkptBytes int64 `json:"ckpt_bytes,omitempty"`
+	// StragglerIndex is the per-step imbalance index: max over ranks of
+	// self time (step − wait) divided by the mean self time — the same
+	// definition Imbalance computes over a whole run (imbalance.go),
+	// evaluated on this step only. 0 when not applicable (single rank).
+	StragglerIndex float64 `json:"straggler_index,omitempty"`
+	// SlowestRank is the rank with the largest self time this step, or
+	// -1 when unknown/not applicable.
+	SlowestRank int32 `json:"slowest_rank,omitempty"`
+	// PhaseNS is the per-phase recorded span time for this step: the
+	// delta, across the step, of each phase histogram's running sum
+	// (Tracer.PhaseSumsNS). Indexed by Phase.
+	PhaseNS [NumPhases]int64 `json:"phase_ns"`
+}
+
+// jsonFloat marshals like a float64 but survives non-finite values,
+// which encoding/json rejects: NaN and ±Inf encode as the strings
+// "NaN", "+Inf", "-Inf". A black-box bundle must preserve the very
+// value (a NaN loss) that triggered it.
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+func (f *jsonFloat) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"NaN"`:
+		*f = jsonFloat(math.NaN())
+		return nil
+	case `"+Inf"`:
+		*f = jsonFloat(math.Inf(1))
+		return nil
+	case `"-Inf"`:
+		*f = jsonFloat(math.Inf(-1))
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = jsonFloat(v)
+	return nil
+}
+
+// stepSampleAlias strips StepSample's methods so the shadow struct
+// below can embed it without recursing into MarshalJSON.
+type stepSampleAlias StepSample
+
+// stepSampleJSON shadows the fields that may legitimately go
+// non-finite (a diverged loss, a 0/0 straggler index) with jsonFloat;
+// the shallower shadow fields win the JSON-name conflict against the
+// embedded alias's.
+type stepSampleJSON struct {
+	stepSampleAlias
+	Loss           jsonFloat `json:"loss"`
+	StragglerIndex jsonFloat `json:"straggler_index,omitempty"`
+}
+
+func (s StepSample) MarshalJSON() ([]byte, error) {
+	return json.Marshal(stepSampleJSON{
+		stepSampleAlias: stepSampleAlias(s),
+		Loss:            jsonFloat(s.Loss),
+		StragglerIndex:  jsonFloat(s.StragglerIndex),
+	})
+}
+
+func (s *StepSample) UnmarshalJSON(b []byte) error {
+	var doc stepSampleJSON
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return err
+	}
+	*s = StepSample(doc.stepSampleAlias)
+	s.Loss = float64(doc.Loss)
+	s.StragglerIndex = float64(doc.StragglerIndex)
+	return nil
+}
+
+// ExamplesPerSec is the sample's throughput (0 if the step time is
+// unknown).
+func (s StepSample) ExamplesPerSec() float64 {
+	if s.StepNS <= 0 {
+		return 0
+	}
+	return float64(s.Examples) * 1e9 / float64(s.StepNS)
+}
+
+// SeriesMark is an annotated point event on the time-series: faults,
+// world rebuilds, checkpoint restores, detector findings. Marks are
+// rare, so recording one may allocate.
+type SeriesMark struct {
+	Step    int64  `json:"step"`
+	ClockNS int64  `json:"clock_ns"`
+	Kind    string `json:"kind"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// timeseriesMarkCap bounds the mark ring: marks annotate rare events
+// (faults, rebuilds, findings), so a small fixed window suffices.
+const timeseriesMarkCap = 256
+
+// Timeseries is a fixed-capacity ring of per-step samples plus a small
+// ring of annotated marks. Append is zero-allocation and nil-safe; the
+// ring overwrites oldest-first once full, so it always holds the most
+// recent window of the run. All methods are safe for concurrent use
+// (one writer — the training goroutine — plus readers such as the
+// /timeseries HTTP endpoint).
+type Timeseries struct {
+	mu      sync.Mutex
+	samples []StepSample
+	next    int
+	total   uint64
+	marks   []SeriesMark
+	mnext   int
+	mtotal  uint64
+}
+
+// DefaultTimeseriesCap is the sample-ring capacity used when none is
+// configured: at one sample per step it spans the last ~1k steps, and
+// at ~250 B/sample costs ~256 KiB — small enough to keep resident for
+// the whole run, deep enough that a bundle's tail shows the lead-up to
+// a trigger, not just the trigger itself.
+const DefaultTimeseriesCap = 1024
+
+// NewTimeseries returns a ring holding the last capacity steps
+// (DefaultTimeseriesCap if capacity <= 0). All memory is allocated up
+// front; recording never grows it.
+func NewTimeseries(capacity int) *Timeseries {
+	if capacity <= 0 {
+		capacity = DefaultTimeseriesCap
+	}
+	return &Timeseries{
+		samples: make([]StepSample, capacity),
+		marks:   make([]SeriesMark, timeseriesMarkCap),
+	}
+}
+
+// Append records one step sample. Nil-safe; zero allocations.
+func (ts *Timeseries) Append(s StepSample) {
+	if ts == nil {
+		return
+	}
+	ts.mu.Lock()
+	ts.samples[ts.next] = s
+	ts.next++
+	if ts.next == len(ts.samples) {
+		ts.next = 0
+	}
+	ts.total++
+	ts.mu.Unlock()
+}
+
+// Mark records an annotated event at the given step. Marks live in
+// their own small ring so a burst of samples cannot evict them.
+func (ts *Timeseries) Mark(step int64, kind, detail string) {
+	if ts == nil {
+		return
+	}
+	m := SeriesMark{Step: step, ClockNS: Now(), Kind: kind, Detail: detail}
+	ts.mu.Lock()
+	ts.marks[ts.mnext] = m
+	ts.mnext++
+	if ts.mnext == len(ts.marks) {
+		ts.mnext = 0
+	}
+	ts.mtotal++
+	ts.mu.Unlock()
+}
+
+// Len is the number of samples currently held (≤ Cap).
+func (ts *Timeseries) Len() int {
+	if ts == nil {
+		return 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.lenLocked()
+}
+
+func (ts *Timeseries) lenLocked() int {
+	if ts.total < uint64(len(ts.samples)) {
+		return int(ts.total)
+	}
+	return len(ts.samples)
+}
+
+// Cap is the ring capacity in steps.
+func (ts *Timeseries) Cap() int {
+	if ts == nil {
+		return 0
+	}
+	return len(ts.samples)
+}
+
+// Total is the number of samples ever appended (including overwritten
+// ones).
+func (ts *Timeseries) Total() uint64 {
+	if ts == nil {
+		return 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.total
+}
+
+// Last returns the most recent sample, if any.
+func (ts *Timeseries) Last() (StepSample, bool) {
+	if ts == nil {
+		return StepSample{}, false
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.total == 0 {
+		return StepSample{}, false
+	}
+	i := ts.next - 1
+	if i < 0 {
+		i = len(ts.samples) - 1
+	}
+	return ts.samples[i], true
+}
+
+// Tail returns a copy of the newest n samples in chronological order
+// (all held samples if n <= 0 or n exceeds Len).
+func (ts *Timeseries) Tail(n int) []StepSample {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	held := ts.lenLocked()
+	if n <= 0 || n > held {
+		n = held
+	}
+	out := make([]StepSample, n)
+	for i := 0; i < n; i++ {
+		j := ts.next - n + i
+		if j < 0 {
+			j += len(ts.samples)
+		}
+		out[i] = ts.samples[j]
+	}
+	return out
+}
+
+// Marks returns a copy of the held marks in chronological order.
+func (ts *Timeseries) Marks() []SeriesMark {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	held := int(ts.mtotal)
+	if held > len(ts.marks) {
+		held = len(ts.marks)
+	}
+	out := make([]SeriesMark, held)
+	for i := 0; i < held; i++ {
+		j := ts.mnext - held + i
+		if j < 0 {
+			j += len(ts.marks)
+		}
+		out[i] = ts.marks[j]
+	}
+	return out
+}
+
+// timeseriesJSON is the wire/bundle schema of a time-series snapshot.
+type timeseriesJSON struct {
+	Total   uint64       `json:"total"`
+	Cap     int          `json:"cap"`
+	Samples []StepSample `json:"samples"`
+	Marks   []SeriesMark `json:"marks"`
+}
+
+// WriteJSON writes the held samples and marks as one indented JSON
+// object: {"total":…, "cap":…, "samples":[…], "marks":[…]}. Nil-safe
+// (writes empty arrays), so the /timeseries endpoint is well-formed
+// even before a recorder is attached.
+func (ts *Timeseries) WriteJSON(w io.Writer) error {
+	doc := timeseriesJSON{Samples: []StepSample{}, Marks: []SeriesMark{}}
+	if ts != nil {
+		doc.Total = ts.Total()
+		doc.Cap = ts.Cap()
+		doc.Samples = ts.Tail(0)
+		doc.Marks = ts.Marks()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Handler serves the time-series snapshot as JSON. Nil-safe.
+func (ts *Timeseries) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		ts.WriteJSON(w)
+	})
+}
+
+// column extracts f over the newest n samples.
+func (ts *Timeseries) column(n int, f func(StepSample) float64) []float64 {
+	tail := ts.Tail(n)
+	out := make([]float64, len(tail))
+	for i, s := range tail {
+		out[i] = f(s)
+	}
+	return out
+}
+
+// Dashboard renders an ASCII sparkline panel over the newest width
+// samples: loss, throughput, step latency, and (when present) wait and
+// starvation shares — the live view behind dlrmtrain -telemetry.watch.
+func (ts *Timeseries) Dashboard(width int) string {
+	if ts == nil || ts.Len() == 0 {
+		return "timeseries: no samples yet\n"
+	}
+	if width <= 0 {
+		width = 60
+	}
+	last, _ := ts.Last()
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeseries: step %d, %d/%d samples, %d marks\n",
+		last.Step, ts.Len(), ts.Cap(), len(ts.Marks()))
+	row := func(label string, vals []float64, cur string) {
+		fmt.Fprintf(&b, "  %-10s %s  %s\n", label, metrics.Sparkline(vals), cur)
+	}
+	row("loss", ts.column(width, func(s StepSample) float64 {
+		if math.IsNaN(s.Loss) || math.IsInf(s.Loss, 0) {
+			return 0
+		}
+		return s.Loss
+	}), metrics.F2(last.Loss))
+	row("ex/s", ts.column(width, StepSample.ExamplesPerSec), metrics.F(last.ExamplesPerSec()))
+	row("step ms", ts.column(width, func(s StepSample) float64 {
+		return float64(s.StepNS) / 1e6
+	}), metrics.F2(float64(last.StepNS)/1e6))
+	frac := func(num func(StepSample) int64) func(StepSample) float64 {
+		return func(s StepSample) float64 {
+			if s.StepNS <= 0 {
+				return 0
+			}
+			return float64(num(s)) / float64(s.StepNS)
+		}
+	}
+	if last.WaitNS > 0 || last.StragglerIndex > 0 {
+		row("wait %", ts.column(width, frac(func(s StepSample) int64 { return s.WaitNS })),
+			metrics.F2(100*frac(func(s StepSample) int64 { return s.WaitNS })(last))+"%")
+	}
+	if last.StarvedNS > 0 {
+		row("starve %", ts.column(width, frac(func(s StepSample) int64 { return s.StarvedNS })),
+			metrics.F2(100*frac(func(s StepSample) int64 { return s.StarvedNS })(last))+"%")
+	}
+	if marks := ts.Marks(); len(marks) > 0 {
+		n := len(marks)
+		if n > 4 {
+			marks = marks[n-4:]
+		}
+		for _, m := range marks {
+			fmt.Fprintf(&b, "  mark @%-6d %s  %s\n", m.Step, m.Kind, m.Detail)
+		}
+	}
+	return b.String()
+}

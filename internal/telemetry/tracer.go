@@ -3,6 +3,7 @@ package telemetry
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Span is one recorded interval on one shard. Start and End are
@@ -171,6 +172,22 @@ func (t *Tracer) PhaseHist(p Phase) Histogram {
 		out.Merge(&c)
 	}
 	return out
+}
+
+// PhaseSumsNS accumulates into dst, per phase, the running sum of all
+// recorded span durations across every shard — 16×shards atomic loads,
+// no allocation, safe while recording is live. The flight recorder
+// diffs consecutive calls to attribute each step's time to phases
+// without touching the span rings. Nil-safe.
+func (t *Tracer) PhaseSumsNS(dst *[NumPhases]int64) {
+	if t == nil {
+		return
+	}
+	for i := range t.hists {
+		for p := range t.hists[i] {
+			dst[p] += int64(atomic.LoadUint64(&t.hists[i][p].sum))
+		}
+	}
 }
 
 // Reset discards every recorded span (capacity is retained). Like

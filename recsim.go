@@ -2,7 +2,7 @@
 // reproduction of "Understanding Training Efficiency of Deep Learning
 // Recommendation Models at Scale" (HPCA 2021).
 //
-// It bundles ten capabilities:
+// It bundles eleven capabilities:
 //
 //   - a real DLRM training stack (models, embedding tables, optimizers,
 //     synthetic click data, single-node and distributed trainers) whose
@@ -59,6 +59,16 @@
 //     of the all-to-all and all-reduce payloads), validated by the
 //     mixed_precision experiment against the fp32 loss baseline and
 //     the dtype-aware analytic volumes;
+//   - a training flight recorder (OpenFlightRecorder): a zero-allocation
+//     per-step time-series ring (loss, throughput, phase/comm/wait/
+//     starvation ns, straggler index) fed by both trainers, online
+//     anomaly detectors (EWMA loss z-score, NaN guard, throughput dip,
+//     ingest starvation, straggler-index and step-SLO crossings) that
+//     localize incidents to the offending step, and trigger-dumped
+//     black-box bundles — trace window, metrics snapshot, series tail,
+//     doctor verdict — plus a live /timeseries endpoint and an ASCII
+//     dashboard (cmd/dlrmtrain -telemetry.watch), validated by the
+//     flight_recorder experiment's ±1-step localization asserts;
 //   - runners that regenerate every table and figure of the paper's
 //     evaluation, plus an MTrainS-style tiered-memory sweep, a
 //     hybrid-parallel ranks × batch scaling study, an
@@ -273,12 +283,56 @@ type (
 	// (compute-/all-to-all-/all-reduce-/reader-/checkpoint-/straggler-
 	// bound), the bucket decomposition, and ranked findings.
 	DoctorReport = telemetry.DoctorReport
+	// Timeseries is the fixed-capacity per-step sample ring behind the
+	// flight recorder: zero-allocation Append, annotated marks, JSON
+	// export (/timeseries), and an ASCII sparkline Dashboard
+	// (cmd/dlrmtrain -telemetry.watch).
+	Timeseries = telemetry.Timeseries
+	// StepSample is one step of the training time-series (loss,
+	// examples, step/comm/wait/starvation ns, per-phase ns, straggler
+	// index).
+	StepSample = telemetry.StepSample
+	// TimeseriesMark is an annotated point event on the time-series
+	// (fault, rebuild, restore, detector finding).
+	TimeseriesMark = telemetry.SeriesMark
+	// AnomalyKind classifies an online detector finding (loss_spike,
+	// loss_nan, throughput_dip, ingest_starvation, straggler,
+	// slo_breach, rank_fault).
+	AnomalyKind = telemetry.AnomalyKind
+	// AnomalyFinding is one structured detector hit: kind, offending
+	// step, severity, observed value vs baseline, detail line.
+	AnomalyFinding = telemetry.AnomalyFinding
+	// FlightRecorder couples the time-series ring with the online
+	// anomaly detectors and, when armed with a directory, atomically
+	// dumps a blackbox-<step>/ bundle (trace window, metrics snapshot,
+	// series tail, doctor verdict) on every debounced finding.
+	FlightRecorder = telemetry.FlightRecorder
+	// FlightRecorderConfig configures OpenFlightRecorder (bundle dir,
+	// ring capacity, detector thresholds, debounce, tracer/registry to
+	// derive phase and meter deltas from).
+	FlightRecorderConfig = telemetry.FlightRecorderConfig
+	// BundleManifest is the parsed bundle.json of a black-box bundle
+	// (schema "recsim-blackbox/1": trigger finding + member files).
+	BundleManifest = telemetry.BundleManifest
+	// TelemetryServeOption customizes ServeTelemetry (WithTimeseries).
+	TelemetryServeOption = telemetry.ServeOption
 	// BenchDiff is the noise-aware comparison of two BENCH_*.json
 	// reports (cmd/benchrun -compare, the CI regression gate).
 	BenchDiff = benchreport.Diff
 	// BenchTolerance is the gate's noise policy (throughput drop %,
 	// ns/op slowdown %, noise floor, alloc slack).
 	BenchTolerance = benchreport.Tolerance
+)
+
+// Online anomaly detector kinds (flight-recorder findings).
+const (
+	AnomalyLossSpike        = telemetry.AnomalyLossSpike
+	AnomalyLossNaN          = telemetry.AnomalyLossNaN
+	AnomalyThroughputDip    = telemetry.AnomalyThroughputDip
+	AnomalyIngestStarvation = telemetry.AnomalyIngestStarvation
+	AnomalyStraggler        = telemetry.AnomalyStraggler
+	AnomalySLOBreach        = telemetry.AnomalySLOBreach
+	AnomalyRankFault        = telemetry.AnomalyRankFault
 )
 
 // Placement strategies (Fig 8, plus the tiered-memory extension).
@@ -561,10 +615,31 @@ func Attribute(s TraceSnapshot) AttributionReport { return telemetry.Attribute(s
 func PredictedPhases(bd Breakdown) map[TracePhase]float64 { return perfmodel.PredictedPhases(bd) }
 
 // ServeTelemetry exposes the registry on addr: /metrics (JSON snapshot),
-// /debug/vars (expvar), and /debug/pprof. It returns the live server
-// (its Addr resolves ":0" to the bound port); shut it down when done.
-func ServeTelemetry(addr string, r *Registry) (*http.Server, error) {
-	return telemetry.Serve(addr, r)
+// /healthz, /timeseries (pass WithTimeseries), /debug/vars (expvar),
+// and /debug/pprof. It returns the live server (its Addr resolves ":0"
+// to the bound port); shut it down when done.
+func ServeTelemetry(addr string, r *Registry, opts ...TelemetryServeOption) (*http.Server, error) {
+	return telemetry.Serve(addr, r, opts...)
+}
+
+// WithTimeseries registers a live /timeseries JSON endpoint on
+// ServeTelemetry, backed by the given sample ring (typically
+// FlightRecorder.Timeseries()).
+func WithTimeseries(ts *Timeseries) TelemetryServeOption { return telemetry.WithTimeseries(ts) }
+
+// NewTimeseries returns a per-step sample ring holding the last
+// capacity steps (a ~1k-step window if capacity <= 0). All memory is
+// allocated up front; recording never grows it.
+func NewTimeseries(capacity int) *Timeseries { return telemetry.NewTimeseries(capacity) }
+
+// OpenFlightRecorder builds the training flight recorder: a per-step
+// time-series ring fed by Trainer.SetRecorder or
+// HybridConfig.Recorder / ElasticConfig.Recorder, online anomaly
+// detectors (EWMA loss z-score, NaN guard, throughput dip, ingest
+// starvation, straggler index, step SLO), and — when cfg.Dir is set —
+// atomic blackbox-<step>/ bundle dumps on every debounced finding.
+func OpenFlightRecorder(cfg FlightRecorderConfig) (*FlightRecorder, error) {
+	return telemetry.OpenFlightRecorder(cfg)
 }
 
 // RegisterPhaseHists publishes a tracer's per-phase latency histograms
@@ -612,7 +687,7 @@ func RunExperiment(id string, opt ExperimentOptions) (ExperimentResult, error) {
 }
 
 // Version identifies the reproduction release.
-const Version = "1.8.0"
+const Version = "1.9.0"
 
 // Describe returns a one-line summary of a model config.
 func Describe(cfg ModelConfig) string {

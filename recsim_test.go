@@ -271,7 +271,7 @@ func TestPublicAPITieredPlacement(t *testing.T) {
 
 func TestPublicAPIExperiments(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 23 {
+	if len(ids) != 24 {
 		t.Fatalf("Experiments() = %d ids", len(ids))
 	}
 	res, err := RunExperiment("table1", ExperimentOptions{Quick: true})

@@ -15,6 +15,68 @@ import (
 // guards — 0 for the single-process step (zeroalloc_test.go), ~0 with a
 // small runtime allowance for the hybrid and ingestion-fed steps (their
 // untraced guards in internal/hybrid and internal/ingest allow the same).
+// TestTimeseriesZeroAlloc extends the budget to the flight recorder:
+// with tracing AND per-step recording on, the recorder's sample (meter
+// deltas, phase-histogram deltas, ring append, detector update) must
+// add zero heap allocations to the single-process step and stay inside
+// the hybrid step's existing ~0 (≤2 runtime) allowance.
+func TestTimeseriesZeroAlloc(t *testing.T) {
+	cfg := benchreport.BenchStepConfig()
+
+	t.Run("single", func(t *testing.T) {
+		trace := telemetry.NewTracer(1, 2048)
+		reg := telemetry.NewRegistry()
+		fr, err := telemetry.OpenFlightRecorder(telemetry.FlightRecorderConfig{
+			Tracer: trace, Registry: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := NewTrainer(NewModel(cfg, 1), TrainerConfig{LR: 0.05})
+		tr.SetTrace(trace, 0)
+		tr.SetRecorder(fr)
+		batch := NewGenerator(cfg, 2).NextBatch(128)
+		for i := 0; i < 12; i++ {
+			tr.Step(batch)
+		}
+		if avg := testing.AllocsPerRun(10, func() { tr.Step(batch) }); avg != 0 {
+			t.Fatalf("recorded Trainer.Step allocates %.1f objects per step, want 0", avg)
+		}
+		if fr.Timeseries().Len() == 0 {
+			t.Fatal("recorder saw no samples")
+		}
+	})
+
+	t.Run("hybrid", func(t *testing.T) {
+		hc := hybrid.Config{Ranks: 2, LR: 0.05, Seed: 1, Overlap: true}
+		hc.Trace = telemetry.NewTracer(hc.ShardCount(), 2048)
+		hc.Registry = telemetry.NewRegistry()
+		fr, err := telemetry.OpenFlightRecorder(telemetry.FlightRecorderConfig{
+			Tracer: hc.Trace, Registry: hc.Registry, Ranks: hc.Ranks,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hc.Recorder = fr
+		ht, err := hybrid.New(cfg, hc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ht.Close()
+		batch := NewGenerator(cfg, 2).NextBatch(128)
+		for i := 0; i < 12; i++ {
+			ht.Step(batch)
+		}
+		if avg := testing.AllocsPerRun(20, func() { ht.Step(batch) }); avg > 2 {
+			t.Fatalf("recorded hybrid step allocates %.1f objects per step, want ~0", avg)
+		}
+		last, ok := fr.Timeseries().Last()
+		if !ok || last.WaitNS < 0 || last.StragglerIndex <= 0 {
+			t.Fatalf("recorded hybrid sample malformed: %+v (ok=%v)", last, ok)
+		}
+	})
+}
+
 func TestStepTraceZeroAlloc(t *testing.T) {
 	cfg := benchreport.BenchStepConfig()
 
